@@ -1,0 +1,61 @@
+"""Ablation: full enhancement grid (all 8 on/off combinations).
+
+Extends Figure 4: rather than single enhancements, every subset of
+{variable ordering, value ordering, backjumping} is timed on one
+benchmark network, revealing interactions (e.g. value ordering matters
+less once backjumping prunes the thrashing).
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.csp.enhanced import EnhancedSolver, EnhancementConfig
+from repro.opt.report import format_table
+from benchmarks.conftest import BASE_NODE_CAP, HARNESS_SEED
+
+_BENCH = "Med-Im04"
+_GRID = [
+    EnhancementConfig(var, val, bj)
+    for var, val, bj in product((False, True), repeat=3)
+]
+_results = {}
+
+
+@pytest.mark.parametrize("config", _GRID, ids=lambda c: c.label())
+def test_grid_cell(benchmark, config, networks):
+    """Solve the benchmark network under one enhancement subset."""
+    network = networks[_BENCH].network
+    solver = EnhancedSolver(config, seed=HARNESS_SEED, max_nodes=BASE_NODE_CAP)
+    result = benchmark.pedantic(solver.solve, args=(network,), rounds=1, iterations=1)
+    if result.complete:
+        assert result.satisfiable
+    _results[config.label()] = result.stats
+    benchmark.extra_info["nodes"] = result.stats.nodes
+
+
+def test_full_config_is_best_or_close(benchmark):
+    """All three enhancements together must be at or near the grid
+    minimum in search nodes."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    full = _results["var+val+bj"].nodes
+    best = min(stats.nodes for stats in _results.values())
+    assert full <= 10 * best  # within an order of magnitude of the best
+
+
+def test_print_grid(benchmark):
+    """Emit the full ablation grid (run with -s to see it)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [label, stats.nodes, stats.backtracks, stats.backjumps,
+         f"{stats.time_seconds:.3f}"]
+        for label, stats in sorted(
+            _results.items(), key=lambda item: item[1].nodes
+        )
+    ]
+    print(f"\n\n=== Enhancement grid on {_BENCH} ===")
+    print(
+        format_table(
+            ["config", "nodes", "backtracks", "backjumps", "seconds"], rows
+        )
+    )

@@ -1,0 +1,64 @@
+"""Ablation: solver scaling on random networks (beyond the paper).
+
+The paper's conclusion calls for "further enhancements ... to expedite
+the search".  This bench compares the enhanced scheme against the two
+extensions we provide -- conflict-directed backjumping and forward
+checking -- on random binary networks of growing size, reporting nodes
+and consistency checks (machine-independent effort).
+"""
+
+import pytest
+
+from repro.csp.backjumping import ConflictDirectedSolver
+from repro.csp.enhanced import EnhancedSolver
+from repro.csp.forward_checking import ForwardCheckingSolver
+from repro.csp.random_networks import random_network
+from repro.opt.report import format_table
+
+_SOLVERS = {
+    "enhanced": lambda: EnhancedSolver(),
+    "cbj": lambda: ConflictDirectedSolver(),
+    "forward-checking": lambda: ForwardCheckingSolver(),
+}
+
+_SIZES = (10, 20, 30)
+
+_results = {}
+
+
+@pytest.mark.parametrize("solver_name", list(_SOLVERS))
+@pytest.mark.parametrize("size", _SIZES)
+def test_scaling(benchmark, solver_name, size):
+    """Solve a planted-solution random network of the given size."""
+    network = random_network(
+        size, 6, density=0.3, tightness=0.4, seed=42 + size
+    )
+    solver = _SOLVERS[solver_name]()
+
+    def solve():
+        return solver.solve(network)
+
+    result = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert result.satisfiable
+    assert network.is_solution(result.assignment)
+    _results[(solver_name, size)] = result.stats
+    benchmark.extra_info["nodes"] = result.stats.nodes
+    benchmark.extra_info["checks"] = result.stats.consistency_checks
+
+
+def test_print_scaling(benchmark):
+    """Emit the scaling table (run with -s to see it)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for size in _SIZES:
+        row = [size]
+        for solver_name in _SOLVERS:
+            stats = _results.get((solver_name, size))
+            row.append(stats.nodes if stats else "-")
+        rows.append(row)
+    print("\n\n=== Ablation: search nodes vs network size ===")
+    print(
+        format_table(
+            ["variables"] + [name for name in _SOLVERS], rows
+        )
+    )

@@ -1,0 +1,90 @@
+"""Extension benches: the paper's two future-work directions.
+
+1. **Weighted constraints** (future work #1): branch & bound over a
+   weighted network distinguishes between multiple solutions -- and
+   degrades gracefully to a best-effort assignment on over-constrained
+   networks.
+
+2. **Dynamic layouts** (future work #2): the DP planner schedules
+   layout changes between program phases and must beat the best static
+   layout whenever redistribution is cheap enough.
+"""
+
+import pytest
+
+from repro.bench import benchmark_build_options, build_benchmark
+from repro.csp.weighted import BranchAndBoundSolver
+from repro.ir.parser import parse_program
+from repro.opt.dynamic import DynamicLayoutPlanner
+from repro.opt.network_builder import build_layout_network
+from repro.opt.report import format_table
+
+PHASED = """
+array B[256][256]
+array P1[256][256]
+array P2[256][256]
+nest phase1 weight=10 {
+    for i = 0 .. 255 { for j = 0 .. 255 { P1[i][j] = B[i][j] } }
+}
+nest phase2 weight=10 {
+    for i = 0 .. 255 { for j = 0 .. 255 { P2[i][j] = B[j][i] } }
+}
+"""
+
+
+def test_weighted_branch_and_bound(benchmark):
+    """B&B on MxM's weighted network: optimum must satisfy everything
+    (the hard network is satisfiable), and the weights identify the
+    costliest nests' preferences."""
+    program = build_benchmark("MxM")
+    layout_network = build_layout_network(program, benchmark_build_options())
+    weighted = layout_network.weighted()
+
+    result = benchmark.pedantic(
+        BranchAndBoundSolver().solve, args=(weighted,), rounds=1, iterations=1
+    )
+    assert result.fully_satisfied
+    assert weighted.network.is_solution(result.assignment)
+
+
+def test_weighted_tie_breaking(benchmark):
+    """Weights must steer which solution is returned when several
+    satisfy the hard network (the paper's stated motivation)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    program = build_benchmark("MxM")
+    layout_network = build_layout_network(program, benchmark_build_options())
+    weighted = layout_network.weighted()
+    result = BranchAndBoundSolver().solve(weighted)
+    assert result.satisfied_weight == pytest.approx(result.optimal_weight)
+
+
+def test_dynamic_planner(benchmark):
+    """DP planning on the phased program: one redistribution, and a
+    strictly better cost than any static layout."""
+    program = parse_program(PHASED, name="phased")
+    planner = DynamicLayoutPlanner(redistribution_cost_per_element=2.0)
+
+    plan = benchmark.pedantic(
+        planner.plan, args=(program, "B"), rounds=1, iterations=1
+    )
+    assert plan.changes == 1
+    assert plan.total_cost < plan.static_cost
+
+
+def test_print_dynamic_summary(benchmark):
+    """Emit the dynamic-layout schedule table (run with -s)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    program = parse_program(PHASED, name="phased")
+    planner = DynamicLayoutPlanner(redistribution_cost_per_element=2.0)
+    rows = []
+    for array, plan in sorted(planner.plan_all(program).items()):
+        schedule = " -> ".join(str(layout) for _, layout in plan.schedule)
+        rows.append(
+            [array, plan.changes, f"{100 * plan.improvement:.1f}%", schedule]
+        )
+    print("\n\n=== Dynamic layouts (future work #2) ===")
+    print(
+        format_table(
+            ["array", "changes", "gain vs static", "schedule"], rows
+        )
+    )

@@ -1,0 +1,58 @@
+"""Figure 1 reproduction: the four 2-D memory layouts.
+
+The paper's Figure 1 is illustrative -- row-major (1 0), column-major
+(0 1), diagonal (1 -1) and anti-diagonal (1 1) hyperplane families.
+We regenerate the figure as ASCII art (printed at the end) and
+benchmark the index->offset mapping machinery for each layout, since
+that mapping is what the simulator executes per reference.
+"""
+
+import pytest
+
+from repro.ir.arrays import ArrayDecl
+from repro.layout.layout import antidiagonal, column_major, diagonal, row_major
+from repro.layout.mapping import LayoutMapping
+from repro.viz.layout_art import layout_gallery
+
+_LAYOUTS = {
+    "row_major": row_major(2),
+    "column_major": column_major(2),
+    "diagonal": diagonal(),
+    "antidiagonal": antidiagonal(),
+}
+
+
+@pytest.mark.parametrize("label", list(_LAYOUTS))
+def test_offset_mapping(benchmark, label):
+    """Time offsets of a full 64x64 sweep under each Figure 1 layout."""
+    decl = ArrayDecl("Q", (64, 64))
+    mapping = LayoutMapping.create(decl, _LAYOUTS[label])
+
+    def sweep() -> int:
+        total = 0
+        for i in range(64):
+            for j in range(64):
+                total += mapping.offset_of((i, j))
+        return total
+
+    total = benchmark(sweep)
+    assert total > 0
+
+
+@pytest.mark.parametrize("label", list(_LAYOUTS))
+def test_mapping_bijectivity(benchmark, label):
+    """Every layout is a storage bijection over the array."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    decl = ArrayDecl("Q", (16, 16))
+    mapping = LayoutMapping.create(decl, _LAYOUTS[label])
+    offsets = {
+        mapping.offset_of((i, j)) for i in range(16) for j in range(16)
+    }
+    assert len(offsets) == 256
+
+
+def test_print_figure1(benchmark):
+    """Emit the reproduced Figure 1 (run with -s to see it)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n\n=== Figure 1 reproduction ===")
+    print(layout_gallery(size=8))

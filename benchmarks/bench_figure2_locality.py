@@ -1,0 +1,86 @@
+"""Figure 2 reproduction: the paper's worked locality example.
+
+The nest ``Q1[i1+i2][i2] = Q2[i1+i2][i1]`` must yield the diagonal
+layout (1 -1) for Q1 and column-major (0 1) for Q2; after loop
+interchange the preferences swap to (0 1) and (1 -1) -- both derivations
+are asserted and the locality-equation machinery is benchmarked.
+"""
+
+import pytest
+
+from repro.ir.parser import parse_program
+from repro.layout.layout import column_major, diagonal
+from repro.layout.locality import preferred_layout
+from repro.opt.optimizer import LayoutOptimizer
+
+FIGURE2 = """
+array Q1[512][256]
+array Q2[512][256]
+nest fig2 {
+    for i1 = 0 .. 255 {
+        for i2 = 0 .. 255 {
+            Q1[i1+i2][i2] = Q2[i1+i2][i1]
+        }
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def figure2_program():
+    return parse_program(FIGURE2, name="figure2")
+
+
+def test_locality_equations(benchmark, figure2_program):
+    """Benchmark the per-reference layout derivation."""
+    nest = figure2_program.nests[0]
+    order = nest.index_order
+
+    def derive():
+        return [
+            preferred_layout(reference, order, (0, 1))
+            for reference in nest.body
+        ]
+
+    layouts = benchmark(derive)
+    by_array = {
+        reference.array: layout
+        for reference, layout in zip(nest.body, layouts)
+    }
+    assert by_array["Q1"] == diagonal()
+    assert by_array["Q2"] == column_major(2)
+
+
+def test_interchange_flips_preferences(benchmark, figure2_program):
+    """Section 2: interchanging the loops swaps the two layouts."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    nest = figure2_program.nests[0]
+    order = nest.index_order
+    by_array = {
+        reference.array: preferred_layout(reference, order, (1, 0))
+        for reference in nest.body
+    }
+    assert by_array["Q1"] == column_major(2)
+    assert by_array["Q2"] == diagonal()
+
+
+def test_full_pipeline_matches_paper(benchmark, figure2_program):
+    """Benchmark the whole optimize() call on the Figure 2 program."""
+    optimizer = LayoutOptimizer(scheme="enhanced")
+    outcome = benchmark(optimizer.optimize, figure2_program)
+    pair = (outcome.layouts["Q1"], outcome.layouts["Q2"])
+    assert pair in (
+        (diagonal(), column_major(2)),
+        (column_major(2), diagonal()),
+    )
+
+
+def test_print_figure2(benchmark, figure2_program):
+    """Emit the worked example (run with -s to see it)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    outcome = LayoutOptimizer(scheme="enhanced").optimize(figure2_program)
+    print("\n\n=== Figure 2 reproduction ===")
+    print("Q1[i1+i2][i2], Q2[i1+i2][i1] with i2 innermost:")
+    for array in ("Q1", "Q2"):
+        print(f"  {array}: {outcome.layouts[array].describe()}")
+    print("(paper: Q1 -> (1 -1) diagonal, Q2 -> (0 1) column-major)")

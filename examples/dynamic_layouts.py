@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Dynamic memory layouts (the paper's second future-work direction).
+
+A program whose access pattern for array B flips between program
+phases: the first (row-sweeping) phase wants row-major, the second
+(column-sweeping) phase wants column-major.  A static layout must lose
+one phase; the dynamic planner inserts a redistribution between the
+phases when (and only when) the copy cost pays for itself.
+
+Run:  python examples/dynamic_layouts.py
+"""
+
+from repro import parse_program
+from repro.opt import DynamicLayoutPlanner, format_table
+
+PHASED = """
+array B[384][384]
+array P1[384][384]
+array P2[384][384]
+
+# Phase 1: row sweeps over B, repeated (weight models an outer loop).
+nest phase1 weight=12 {
+    for i = 0 .. 383 { for j = 0 .. 383 { P1[i][j] = B[i][j] } }
+}
+
+# Phase 2: column sweeps over B, equally hot.
+nest phase2 weight=12 {
+    for i = 0 .. 383 { for j = 0 .. 383 { P2[i][j] = B[j][i] } }
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(PHASED, name="phased")
+    print(program)
+    print()
+
+    for cost_per_element in (2.0, 50.0):
+        planner = DynamicLayoutPlanner(
+            redistribution_cost_per_element=cost_per_element
+        )
+        plan = planner.plan(program, "B")
+        print(
+            f"=== redistribution cost {cost_per_element} per element ==="
+        )
+        rows = [
+            [nest, str(layout)] for nest, layout in plan.schedule
+        ]
+        print(format_table(["nest", "layout of B"], rows))
+        print(
+            f"  layout changes: {plan.changes}; "
+            f"dynamic cost {plan.total_cost:,.0f} vs "
+            f"best static {plan.static_cost:,.0f} "
+            f"({100 * plan.improvement:.1f}% better)"
+        )
+        print()
+
+    print("All referenced arrays, cheap redistribution:")
+    planner = DynamicLayoutPlanner(redistribution_cost_per_element=2.0)
+    rows = []
+    for array, plan in sorted(planner.plan_all(program).items()):
+        rows.append(
+            [
+                array,
+                plan.changes,
+                f"{100 * plan.improvement:.1f}%",
+            ]
+        )
+    print(format_table(["array", "changes", "gain vs static"], rows))
+
+
+if __name__ == "__main__":
+    main()

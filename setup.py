@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 editable installs; on
+offline machines without it, ``python setup.py develop`` installs the
+same editable package using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

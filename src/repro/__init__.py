@@ -1,0 +1,98 @@
+"""repro -- constraint-network based memory layout optimization.
+
+A from-scratch Python reproduction of G. Chen, M. Kandemir and
+M. Karakoy, "A Constraint Network Based Approach to Memory Layout
+Optimization", DATE 2005.
+
+Quickstart::
+
+    from repro import parse_program, LayoutOptimizer
+
+    program = parse_program('''
+        array Q1[512][512]
+        array Q2[512][512]
+        nest fig2 {
+            for i1 = 0 .. 255 {
+                for i2 = 0 .. 255 {
+                    Q1[i1+i2][i2] = Q2[i1+i2][i1]
+                }
+            }
+        }
+    ''')
+    outcome = LayoutOptimizer(scheme="enhanced").optimize(program)
+    for array, layout in outcome.layouts.items():
+        print(array, layout.describe())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured comparison.
+"""
+
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    AccessKind,
+    Loop,
+    LoopNest,
+    Program,
+    parse_program,
+)
+from repro.layout import (
+    Hyperplane,
+    Layout,
+    LayoutMapping,
+    row_major,
+    column_major,
+    diagonal,
+    antidiagonal,
+)
+from repro.csp import (
+    ConstraintNetwork,
+    BacktrackingSolver,
+    EnhancedSolver,
+    EnhancementConfig,
+)
+from repro.opt import (
+    BuildOptions,
+    LayoutOptimizer,
+    HeuristicOptimizer,
+    DynamicLayoutPlanner,
+    build_layout_network,
+    select_transforms,
+)
+from repro.simul import simulate_program
+from repro.cachesim import HierarchyConfig, paper_hierarchy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AffineExpr",
+    "ArrayDecl",
+    "ArrayRef",
+    "AccessKind",
+    "Loop",
+    "LoopNest",
+    "Program",
+    "parse_program",
+    "Hyperplane",
+    "Layout",
+    "LayoutMapping",
+    "row_major",
+    "column_major",
+    "diagonal",
+    "antidiagonal",
+    "ConstraintNetwork",
+    "BacktrackingSolver",
+    "EnhancedSolver",
+    "EnhancementConfig",
+    "BuildOptions",
+    "LayoutOptimizer",
+    "HeuristicOptimizer",
+    "DynamicLayoutPlanner",
+    "build_layout_network",
+    "select_transforms",
+    "simulate_program",
+    "HierarchyConfig",
+    "paper_hierarchy",
+    "__version__",
+]

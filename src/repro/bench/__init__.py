@@ -1,0 +1,28 @@
+"""Benchmark programs (the paper's Table 1 workloads).
+
+The original five embedded codes (Med-Im04, MxM, Radar, Shape, Track)
+are proprietary; we rebuild each as a synthetic program matched to the
+published characteristics -- total data size, constraint-network domain
+size, and the access-pattern mix typical of the domain (see DESIGN.md,
+"Substitutions").  ``MxM`` is the exception: triple matrix
+multiplication is fully specified by its name and is written out
+directly.
+"""
+
+from repro.bench.generator import SyntheticSpec, generate_program, PATTERNS
+from repro.bench.programs import (
+    BENCHMARK_NAMES,
+    TABLE1_REFERENCE,
+    build_benchmark,
+    benchmark_build_options,
+)
+
+__all__ = [
+    "SyntheticSpec",
+    "generate_program",
+    "PATTERNS",
+    "BENCHMARK_NAMES",
+    "TABLE1_REFERENCE",
+    "build_benchmark",
+    "benchmark_build_options",
+]

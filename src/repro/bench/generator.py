@@ -1,0 +1,264 @@
+"""Synthetic array-program generator.
+
+Generates programs with the statistical character of embedded
+image/signal-processing codes: many 2-D arrays, a chain of loop nests
+each reading a few arrays and writing one, with per-reference access
+patterns drawn from a palette (row, column, diagonal, skewed, strided).
+The written array is referenced exactly once per nest so that every
+loop permutation stays legal and the constraint networks stay rich.
+
+**Planted satisfiability.**  The paper's solvers assume "a solution
+exists" for the Table 2/3 runs, so the generator plants one: every
+array gets a *home layout* and is always accessed with patterns whose
+identity-transform locality preference is exactly that home layout.
+The identity combo of every nest then assigns home layouts, so the
+all-homes assignment satisfies every constraint.  Non-identity
+restructurings (permutations, skews) contribute the decoy layouts that
+make the search problem hard.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.ir.arrays import ArrayDecl
+from repro.ir.expr import AffineExpr
+from repro.ir.loops import Loop, LoopNest
+from repro.ir.program import Program
+from repro.ir.reference import AccessKind, ArrayRef
+
+_I = AffineExpr.var
+
+#: Access-pattern palette.  Each entry maps the two loop indices (i, j)
+#: to a pair of affine subscripts, together with the factor by which the
+#: loop bound must shrink so subscripts stay inside an ExE array, and
+#: the canonical hyperplane vector the pattern prefers under the
+#: original (identity) loop order -- its *home*.
+PatternFn = Callable[[str, str], tuple[AffineExpr, AffineExpr]]
+PATTERNS: dict[str, tuple[PatternFn, int, tuple[int, int]]] = {
+    "row": (lambda i, j: (_I(i), _I(j)), 1, (1, 0)),
+    "anti": (lambda i, j: (_I(i), _I(i) + _I(j)), 2, (1, 0)),
+    "col": (lambda i, j: (_I(j), _I(i)), 1, (0, 1)),
+    "diag_t": (lambda i, j: (_I(i) + _I(j), _I(i)), 2, (0, 1)),
+    "skew2_t": (lambda i, j: (2 * _I(i) + _I(j), _I(i)), 3, (0, 1)),
+    "diag": (lambda i, j: (_I(i) + _I(j), _I(j)), 2, (1, -1)),
+    "anti_t": (lambda i, j: (_I(j), _I(i) + _I(j)), 2, (1, -1)),
+    "sheared": (lambda i, j: (2 * _I(i) + _I(j), _I(i) + _I(j)), 3, (1, -1)),
+    "skew2": (lambda i, j: (_I(i) + 2 * _I(j), _I(j)), 3, (1, -2)),
+}
+
+#: Home layouts available for planting, keyed by hyperplane vector.
+HOME_VECTORS: tuple[tuple[int, int], ...] = ((1, 0), (0, 1), (1, -1), (1, -2))
+
+
+def patterns_with_home(home: tuple[int, int]) -> tuple[str, ...]:
+    """Palette entries whose identity-order preference is ``home``."""
+    return tuple(
+        name for name, (_, _, vector) in PATTERNS.items() if vector == home
+    )
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of a synthetic benchmark.
+
+    Attributes:
+        name: program name.
+        array_extents: one (square) extent per 2-D array; array count
+            and data size follow directly.
+        nest_count: number of loop nests.
+        arrays_per_nest: (min, max) arrays referenced per nest.
+        home_weights: relative frequency of each home layout among the
+            arrays (vectors from :data:`HOME_VECTORS`).
+        pattern_variety: probability that a nest accesses an array with
+            a *different* pattern from the array's home group instead
+            of the array's canonical pattern.  0.0 keeps one pattern
+            per array (many global solutions; easy networks); higher
+            values knock out the non-identity planted solutions and
+            make the search harder.  The identity/home solution always
+            survives, so the network stays satisfiable.
+        conflict_nests: number of extra *conflicting* nests appended
+            after the clean ones.  A conflicting nest reuses the arrays
+            of one clean nest but accesses them with *foreign* patterns
+            (wrong home group) and carries the highest weight in the
+            program.  Its constraint pairs are unioned with the clean
+            nest's (same array pairs), so the planted solution still
+            satisfies the network -- but no layout assignment can give
+            every nest locality.  This is what separates the greedy
+            heuristic [9] (which satisfies the costly conflicting nest
+            first and sacrifices many clean nests) from the
+            constraint-network schemes, reproducing the Table 3 gap.
+        seed: RNG seed; generation is fully deterministic.
+        max_weight: nest weights are drawn from 1..max_weight; a
+            conflicting nest gets ``max_weight + 2``.
+    """
+
+    name: str
+    array_extents: tuple[int, ...]
+    nest_count: int
+    arrays_per_nest: tuple[int, int] = (3, 4)
+    home_weights: tuple[tuple[tuple[int, int], float], ...] = (
+        ((1, 0), 1.0),
+        ((0, 1), 2.0),
+        ((1, -1), 1.5),
+        ((1, -2), 0.5),
+    )
+    pattern_variety: float = 0.25
+    conflict_nests: int = 0
+    seed: int = 0
+    max_weight: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.array_extents:
+            raise ValueError("need at least one array")
+        if self.nest_count < 1:
+            raise ValueError("need at least one nest")
+        low, high = self.arrays_per_nest
+        if not 2 <= low <= high:
+            raise ValueError("arrays_per_nest must satisfy 2 <= low <= high")
+        for vector, _ in self.home_weights:
+            if vector not in HOME_VECTORS:
+                raise ValueError(f"unknown home vector {vector!r}")
+        if not 0.0 <= self.pattern_variety <= 1.0:
+            raise ValueError("pattern_variety must be in [0, 1]")
+        if self.conflict_nests < 0:
+            raise ValueError("conflict_nests cannot be negative")
+
+    @property
+    def data_bytes(self) -> int:
+        """Total float32 data footprint implied by the extents."""
+        return sum(4 * extent * extent for extent in self.array_extents)
+
+
+def generate_program(spec: SyntheticSpec) -> Program:
+    """Generate the program described by a spec (deterministic)."""
+    rng = random.Random(spec.seed)
+    arrays = tuple(
+        ArrayDecl(f"Q{index + 1}", (extent, extent), "float32")
+        for index, extent in enumerate(spec.array_extents)
+    )
+    names = [decl.name for decl in arrays]
+    extents = {decl.name: decl.extents[0] for decl in arrays}
+    home_vectors = [vector for vector, _ in spec.home_weights]
+    home_frequency = [weight for _, weight in spec.home_weights]
+    homes = {
+        name: rng.choices(home_vectors, weights=home_frequency, k=1)[0]
+        for name in names
+    }
+    canonical = {
+        name: rng.choice(patterns_with_home(homes[name])) for name in names
+    }
+
+    def pattern_for(array: str) -> str:
+        group = patterns_with_home(homes[array])
+        if len(group) > 1 and rng.random() < spec.pattern_variety:
+            alternatives = [p for p in group if p != canonical[array]]
+            return rng.choice(alternatives)
+        return canonical[array]
+
+    nests = []
+    uncovered = set(names)
+    for nest_index in range(spec.nest_count):
+        low, high = spec.arrays_per_nest
+        count = min(rng.randint(low, high), len(names))
+        # Prefer arrays no nest has referenced yet, so every declared
+        # array ends up in the constraint network.
+        from_uncovered = rng.sample(
+            sorted(uncovered), min(count, len(uncovered))
+        )
+        remaining = [name for name in names if name not in from_uncovered]
+        chosen = from_uncovered + rng.sample(
+            remaining, count - len(from_uncovered)
+        )
+        rng.shuffle(chosen)
+        uncovered.difference_update(chosen)
+        patterns = [pattern_for(array) for array in chosen]
+        # The loop bound must fit every chosen pattern in every chosen
+        # array: bound = min(extent // shrink).
+        bound = min(
+            extents[array] // PATTERNS[pattern][1]
+            for array, pattern in zip(chosen, patterns)
+        )
+        bound = max(bound, 2)
+        body: list[ArrayRef] = []
+        # Reads first, then the single write (last array of the sample).
+        for position, (array, pattern) in enumerate(zip(chosen, patterns)):
+            make_subscripts, _, _ = PATTERNS[pattern]
+            subscripts = make_subscripts("i", "j")
+            kind = AccessKind.WRITE if position == count - 1 else AccessKind.READ
+            body.append(ArrayRef(array, subscripts, kind))
+        nests.append(
+            LoopNest(
+                name=f"nest{nest_index + 1}",
+                loops=(Loop("i", 0, bound - 1), Loop("j", 0, bound - 1)),
+                body=tuple(body),
+                weight=rng.randint(1, spec.max_weight),
+            )
+        )
+
+    # Conflicting nests: reuse a clean nest's arrays with foreign
+    # patterns.  Because the array pairs already occur in the clean
+    # nest, the union constraint keeps the planted home solution valid.
+    for conflict_index in range(spec.conflict_nests):
+        donor = rng.choice(nests[: spec.nest_count])
+        donor_arrays = list(donor.arrays())
+        count = min(len(donor_arrays), rng.randint(2, 3))
+        chosen = rng.sample(donor_arrays, count)
+        patterns = []
+        for array in chosen:
+            foreign_homes = [v for v in home_vectors if v != homes[array]]
+            foreign_home = rng.choice(foreign_homes)
+            patterns.append(rng.choice(patterns_with_home(foreign_home)))
+        bound = min(
+            extents[array] // PATTERNS[pattern][1]
+            for array, pattern in zip(chosen, patterns)
+        )
+        bound = max(bound, 2)
+        body = []
+        for position, (array, pattern) in enumerate(zip(chosen, patterns)):
+            make_subscripts, _, _ = PATTERNS[pattern]
+            kind = AccessKind.WRITE if position == count - 1 else AccessKind.READ
+            body.append(ArrayRef(array, make_subscripts("i", "j"), kind))
+        nests.append(
+            LoopNest(
+                name=f"conflict{conflict_index + 1}",
+                loops=(Loop("i", 0, bound - 1), Loop("j", 0, bound - 1)),
+                body=tuple(body),
+                weight=spec.max_weight + 2,
+            )
+        )
+    return Program(spec.name, arrays, tuple(nests))
+
+
+def extents_for_data_size(
+    target_bytes: int, array_count: int, granularity: int = 4
+) -> tuple[int, ...]:
+    """Choose square extents so total float32 data is close to a target.
+
+    All arrays share one base extent (a multiple of ``granularity``),
+    with the first array's extent adjusted by one granule when it
+    improves the fit.
+    """
+    if array_count < 1:
+        raise ValueError("array_count must be positive")
+    per_array = target_bytes / array_count / 4.0
+    base = max(granularity, int(round(per_array**0.5 / granularity)) * granularity)
+
+    def total(extents: Sequence[int]) -> int:
+        return sum(4 * e * e for e in extents)
+
+    best = tuple([base] * array_count)
+    best_error = abs(total(best) - target_bytes)
+    for first_delta in (-granularity, 0, granularity):
+        for base_delta in (-granularity, 0, granularity):
+            extents = [base + base_delta] * array_count
+            extents[0] += first_delta
+            if min(extents) < granularity:
+                continue
+            error = abs(total(extents) - target_bytes)
+            if error < best_error:
+                best = tuple(extents)
+                best_error = error
+    return best

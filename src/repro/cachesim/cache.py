@@ -1,0 +1,168 @@
+"""A single set-associative cache level.
+
+Write-back, write-allocate, with LRU (default), FIFO or seeded-random
+replacement.  The access interface is line-granular via
+:meth:`Cache.access_line`; byte-granular accesses that may straddle a
+line boundary go through :meth:`Cache.access`, which splits them.
+
+The implementation is optimized for trace-driven simulation in pure
+Python: each set is a list of tags in recency order (MRU last), and the
+hot path avoids attribute lookups where it matters.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Iterator
+
+from repro.cachesim.stats import CacheStats
+
+
+class ReplacementPolicy(enum.Enum):
+    """Victim selection policy."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class Cache:
+    """One set-associative cache level.
+
+    Args:
+        name: label used in reports ("L1D", "L2", ...).
+        size_bytes: total capacity; must be divisible into sets.
+        associativity: ways per set.
+        line_size: line (block) size in bytes; power of two.
+        policy: replacement policy.
+        seed: RNG seed (used only by the RANDOM policy).
+
+    Raises:
+        ValueError: for inconsistent geometry.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        associativity: int,
+        line_size: int,
+        policy: ReplacementPolicy = ReplacementPolicy.LRU,
+        seed: int = 0,
+    ):
+        if not _is_power_of_two(line_size):
+            raise ValueError(f"{name}: line size must be a power of two")
+        if size_bytes <= 0 or associativity <= 0:
+            raise ValueError(f"{name}: size and associativity must be positive")
+        if size_bytes % (associativity * line_size) != 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"associativity*line ({associativity}*{line_size})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.line_size = line_size
+        self.policy = policy
+        self.num_sets = size_bytes // (associativity * line_size)
+        if not _is_power_of_two(self.num_sets):
+            raise ValueError(f"{name}: number of sets must be a power of two")
+        self.stats = CacheStats()
+        self._rng = random.Random(seed)
+        # Per set: list of tags, recency order (MRU last) for LRU,
+        # insertion order for FIFO.
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self._dirty: list[set[int]] = [set() for _ in range(self.num_sets)]
+
+    # -- core access -------------------------------------------------------
+
+    def access_line(self, line_address: int, is_write: bool) -> bool:
+        """Access one line (already line-aligned index, not a byte address).
+
+        Returns:
+            True on hit, False on miss.  On a miss the line is filled
+            (write-allocate); a dirty victim increments ``writebacks``.
+        """
+        set_index = line_address & (self.num_sets - 1)
+        tag = line_address >> 0  # full line id kept as tag (simpler, exact)
+        tags = self._sets[set_index]
+        stats = self.stats
+        stats.accesses += 1
+        if tag in tags:
+            stats.hits += 1
+            if self.policy is ReplacementPolicy.LRU:
+                tags.remove(tag)
+                tags.append(tag)
+            if is_write:
+                self._dirty[set_index].add(tag)
+            return True
+        stats.misses += 1
+        if len(tags) >= self.associativity:
+            victim = self._select_victim(set_index)
+            tags.remove(victim)
+            stats.evictions += 1
+            if victim in self._dirty[set_index]:
+                self._dirty[set_index].discard(victim)
+                stats.writebacks += 1
+        tags.append(tag)
+        if is_write:
+            self._dirty[set_index].add(tag)
+        return False
+
+    def access(self, address: int, size: int, is_write: bool) -> tuple[int, int]:
+        """Byte-granular access, splitting across line boundaries.
+
+        Returns:
+            (hits, misses) over the touched lines.
+        """
+        if size <= 0:
+            raise ValueError("access size must be positive")
+        first_line = address // self.line_size
+        last_line = (address + size - 1) // self.line_size
+        hits = 0
+        misses = 0
+        for line in range(first_line, last_line + 1):
+            if self.access_line(line, is_write):
+                hits += 1
+            else:
+                misses += 1
+        return hits, misses
+
+    def lines_of(self, address: int, size: int) -> Iterator[int]:
+        """The line indices a byte-range access touches."""
+        first_line = address // self.line_size
+        last_line = (address + size - 1) // self.line_size
+        return iter(range(first_line, last_line + 1))
+
+    def contains(self, address: int) -> bool:
+        """True iff the line holding ``address`` is currently resident."""
+        line = address // self.line_size
+        set_index = line & (self.num_sets - 1)
+        return line in self._sets[set_index]
+
+    def flush(self) -> int:
+        """Empty the cache; returns the number of dirty lines dropped."""
+        dirty_total = sum(len(d) for d in self._dirty)
+        self._sets = [[] for _ in range(self.num_sets)]
+        self._dirty = [set() for _ in range(self.num_sets)]
+        return dirty_total
+
+    def _select_victim(self, set_index: int) -> int:
+        tags = self._sets[set_index]
+        if self.policy is ReplacementPolicy.RANDOM:
+            return self._rng.choice(tags)
+        # LRU keeps MRU last; FIFO keeps newest last -- either way the
+        # victim is the front of the list.
+        return tags[0]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.size_bytes // 1024}KB "
+            f"{self.associativity}-way {self.line_size}B lines "
+            f"({self.num_sets} sets, {self.policy.value})"
+        )

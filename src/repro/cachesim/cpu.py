@@ -1,0 +1,81 @@
+"""Dual-issue in-order CPU timing model.
+
+The paper models "an embedded processor that can issue and execute two
+instructions in parallel".  For a trace-driven relative-time study the
+essential behaviour is: non-memory instructions retire at up to
+``issue_width`` per cycle, and each memory access stalls the pipeline
+for its hierarchy latency beyond the single cycle already counted for
+the instruction itself (blocking loads, in-order).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cachesim.hierarchy import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Issue width and per-body instruction estimates.
+
+    Attributes:
+        issue_width: instructions issued per cycle (paper: 2).
+        ops_per_reference: non-memory instructions accompanying each
+            array reference (address arithmetic + compute).  Embedded
+            cores with post-increment addressing spend ~2 per access.
+        loop_overhead_ops: non-memory instructions per innermost
+            iteration (increment, compare, branch).
+    """
+
+    issue_width: int = 2
+    ops_per_reference: int = 2
+    loop_overhead_ops: int = 2
+
+    def __post_init__(self) -> None:
+        if self.issue_width <= 0:
+            raise ValueError("issue width must be positive")
+
+
+class DualIssueCPU:
+    """Accumulates cycles for a stream of instructions and memory accesses."""
+
+    def __init__(self, hierarchy: MemoryHierarchy, config: CPUConfig | None = None):
+        self.hierarchy = hierarchy
+        self.config = config if config is not None else CPUConfig()
+        self.cycles = 0
+        self.instructions = 0
+        self.memory_accesses = 0
+
+    def execute_ops(self, count: int) -> None:
+        """Retire ``count`` non-memory instructions."""
+        if count < 0:
+            raise ValueError("instruction count cannot be negative")
+        self.instructions += count
+        self.cycles += math.ceil(count / self.config.issue_width)
+
+    def execute_memory(self, address: int, size: int, is_write: bool) -> None:
+        """Execute one load/store, stalling for the hierarchy latency."""
+        latency = self.hierarchy.access_data(address, size, is_write)
+        self.instructions += 1
+        self.memory_accesses += 1
+        # The instruction itself occupies one issue slot; extra latency
+        # beyond the first cycle stalls the in-order pipeline.
+        self.cycles += 1 + max(0, latency - 1)
+
+    def fetch_instructions(self, address: int, count: int) -> None:
+        """Model instruction fetch for a block of ``count`` instructions.
+
+        Fetches are line-granular: one I-cache access per line the block
+        spans (4-byte instructions assumed).
+        """
+        if count <= 0:
+            return
+        line_size = self.hierarchy.l1_instruction.line_size
+        first = address // line_size
+        last = (address + 4 * count - 1) // line_size
+        for line in range(first, last + 1):
+            latency = self.hierarchy.access_instruction(line * line_size)
+            # A hit is fully pipelined (no extra cycles); a miss stalls.
+            self.cycles += max(0, latency - self.hierarchy.config.l1_latency)

@@ -1,0 +1,106 @@
+"""Multi-level memory hierarchy.
+
+Split L1 (instruction + data) backed by a unified L2 backed by flat
+main memory -- the exact structure of the paper's SimpleScalar
+configuration.  Latencies are *access* latencies: an L1 hit costs the
+L1 latency; an L1 miss that hits in L2 costs L1 + L2; a full miss costs
+L1 + L2 + memory.  Writebacks are modelled for statistics but add no
+latency (the store buffer hides them), which matches the relative-time
+purpose of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cachesim.cache import Cache, ReplacementPolicy
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry and latencies of the modelled hierarchy.
+
+    Defaults are the paper's Section 5 machine: 8KB 2-way 32B-line
+    split L1, 64KB 4-way 64B-line unified L2, latencies 1/6/70.
+    """
+
+    l1_size: int = 8 * 1024
+    l1_associativity: int = 2
+    l1_line: int = 32
+    l2_size: int = 64 * 1024
+    l2_associativity: int = 4
+    l2_line: int = 64
+    l1_latency: int = 1
+    l2_latency: int = 6
+    memory_latency: int = 70
+
+    def __post_init__(self) -> None:
+        if min(self.l1_latency, self.l2_latency, self.memory_latency) <= 0:
+            raise ValueError("latencies must be positive")
+
+
+class MemoryHierarchy:
+    """Split-L1 / unified-L2 hierarchy with per-level statistics."""
+
+    def __init__(self, config: HierarchyConfig | None = None):
+        self.config = config if config is not None else HierarchyConfig()
+        cfg = self.config
+        self.l1_data = Cache(
+            "L1D", cfg.l1_size, cfg.l1_associativity, cfg.l1_line
+        )
+        self.l1_instruction = Cache(
+            "L1I", cfg.l1_size, cfg.l1_associativity, cfg.l1_line
+        )
+        self.l2 = Cache("L2", cfg.l2_size, cfg.l2_associativity, cfg.l2_line)
+
+    def access_data(self, address: int, size: int, is_write: bool) -> int:
+        """A load/store; returns its latency in cycles."""
+        cfg = self.config
+        l1 = self.l1_data
+        first_line = address // l1.line_size
+        last_line = (address + size - 1) // l1.line_size
+        latency = 0
+        for line in range(first_line, last_line + 1):
+            latency += cfg.l1_latency
+            if not l1.access_line(line, is_write):
+                # L1 line index -> L2 line index (line sizes may differ).
+                l2_line = (line * l1.line_size) // self.l2.line_size
+                latency += cfg.l2_latency
+                if not self.l2.access_line(l2_line, False):
+                    latency += cfg.memory_latency
+        return latency
+
+    def access_instruction(self, address: int, size: int = 4) -> int:
+        """An instruction fetch; returns its latency in cycles."""
+        cfg = self.config
+        l1 = self.l1_instruction
+        first_line = address // l1.line_size
+        last_line = (address + size - 1) // l1.line_size
+        latency = 0
+        for line in range(first_line, last_line + 1):
+            latency += cfg.l1_latency
+            if not l1.access_line(line, False):
+                l2_line = (line * l1.line_size) // self.l2.line_size
+                latency += cfg.l2_latency
+                if not self.l2.access_line(l2_line, False):
+                    latency += cfg.memory_latency
+        return latency
+
+    def flush(self) -> None:
+        """Empty all levels (used between independent simulations)."""
+        self.l1_data.flush()
+        self.l1_instruction.flush()
+        self.l2.flush()
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """Per-level statistics as plain dicts."""
+        return {
+            "L1D": self.l1_data.stats.as_dict(),
+            "L1I": self.l1_instruction.stats.as_dict(),
+            "L2": self.l2.stats.as_dict(),
+        }
+
+
+def paper_hierarchy() -> MemoryHierarchy:
+    """A hierarchy with exactly the paper's Section 5 configuration."""
+    return MemoryHierarchy(HierarchyConfig())

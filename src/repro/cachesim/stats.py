@@ -1,0 +1,49 @@
+"""Per-cache statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level.
+
+    Attributes:
+        accesses: total line accesses.
+        hits: line accesses that hit.
+        misses: line accesses that missed.
+        evictions: lines evicted to make room.
+        writebacks: dirty lines written back on eviction.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / accesses (0.0 when there were no accesses)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses (0.0 when there were no accesses)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for reports."""
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,40 @@
+"""The paper's *base scheme*: chronological backtracking.
+
+"It starts with an assignment of a variable (e.g., randomly selected)
+and then increases the number of partial instantiations.  When it is
+found that no solution can exist based on the current partial
+instantiation, it backtracks to the previous variable instantiated"
+(Section 4).  Both the variable picked at each forward step and the
+order of attempted values are random, seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+from repro.csp.engine import EngineConfig, JUMP_CHRONOLOGICAL, SearchEngine
+from repro.csp.network import ConstraintNetwork
+from repro.csp.stats import SolverResult
+
+
+class BacktrackingSolver:
+    """Base scheme: random orders, chronological dead-end handling.
+
+    Complete: a ``None`` assignment in the result proves
+    unsatisfiability.
+    """
+
+    name = "base"
+
+    def __init__(self, seed: int = 0, max_nodes: int | None = None):
+        self._engine = SearchEngine(
+            EngineConfig(
+                variable_ordering=False,
+                value_ordering=False,
+                jump_mode=JUMP_CHRONOLOGICAL,
+                seed=seed,
+                max_nodes=max_nodes,
+            )
+        )
+
+    def solve(self, network: ConstraintNetwork) -> SolverResult:
+        """Find one solution (or prove there is none)."""
+        return self._engine.solve(network)

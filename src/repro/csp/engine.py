@@ -1,0 +1,257 @@
+"""The depth-first search engine behind the systematic solvers.
+
+One engine implements the whole family of Section 4 solvers; the
+behaviour toggles are exactly the three enhancements of the paper plus
+the choice of jump rule:
+
+* variable ordering: random (base) or most-constraining (enhanced);
+* value ordering: random (base) or least-constraining (enhanced);
+* dead-end handling: chronological backtracking (base), graph-based
+  backjumping (enhanced, the rule the paper illustrates in Figure 3),
+  or conflict-directed backjumping (sharper extension).
+
+The implementation is the classic recursive conflict-set formulation:
+``_search`` returns ``(solution, jump_depth, conflict_depths)``.  A
+frame whose depth is above ``jump_depth`` simply unwinds; the frame at
+``jump_depth`` resumes with its next value, merging the child's
+conflict set into its own.  This is sound for both jump rules and for
+dynamic variable orders because conflict sets always name *depths of
+currently instantiated variables* responsible for the failure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.csp.network import ConstraintNetwork
+from repro.csp.stats import SolverResult, SolverStats, Stopwatch
+
+Value = Hashable
+
+#: Jump rule names accepted by the engine.
+JUMP_CHRONOLOGICAL = "chronological"
+JUMP_GRAPH = "graph"
+JUMP_CONFLICT = "conflict"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Behaviour switches for :class:`SearchEngine`.
+
+    Attributes:
+        variable_ordering: use the most-constraining-variable rule
+            instead of a random choice.
+        value_ordering: use the least-constraining-value rule instead
+            of a random shuffle.
+        jump_mode: one of ``chronological``, ``graph`` or ``conflict``.
+        seed: RNG seed for the random orderings (ignored when both
+            ordering rules are enabled).
+        max_nodes: optional node budget; when exhausted the solver
+            stops and reports an *incomplete* result (None assignment
+            with ``complete=False``) instead of running unboundedly.
+    """
+
+    variable_ordering: bool = False
+    value_ordering: bool = False
+    jump_mode: str = JUMP_CHRONOLOGICAL
+    seed: int = 0
+    max_nodes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.jump_mode not in (JUMP_CHRONOLOGICAL, JUMP_GRAPH, JUMP_CONFLICT):
+            raise ValueError(f"unknown jump mode {self.jump_mode!r}")
+        if self.max_nodes is not None and self.max_nodes <= 0:
+            raise ValueError("max_nodes must be positive when given")
+
+
+class _NodeBudgetExhausted(Exception):
+    """Internal: raised when the engine's node budget runs out."""
+
+
+class SearchEngine:
+    """Configurable systematic solver over a :class:`ConstraintNetwork`."""
+
+    def __init__(self, config: EngineConfig):
+        self._config = config
+
+    @property
+    def config(self) -> EngineConfig:
+        """The engine's configuration."""
+        return self._config
+
+    def solve(self, network: ConstraintNetwork) -> SolverResult:
+        """Run the search to the first solution or to an UNSAT proof."""
+        stats = SolverStats()
+        rng = random.Random(self._config.seed)
+        complete = True
+        with Stopwatch(stats):
+            assignment: dict[str, Value] = {}
+            depth_of: dict[str, int] = {}
+            try:
+                solution, _, _ = self._search(
+                    network, assignment, depth_of, rng, stats
+                )
+            except _NodeBudgetExhausted:
+                solution = None
+                complete = False
+        return SolverResult(solution, stats, complete=complete)
+
+    # -- search ---------------------------------------------------------
+
+    def _search(
+        self,
+        network: ConstraintNetwork,
+        assignment: dict[str, Value],
+        depth_of: dict[str, int],
+        rng: random.Random,
+        stats: SolverStats,
+    ) -> tuple[dict[str, Value] | None, int, set[int]]:
+        depth = len(assignment)
+        if depth == len(network.variables):
+            return dict(assignment), depth, set()
+
+        variable = self._select_variable(network, assignment, rng)
+        conflict_union: set[int] = set()
+        budget = self._config.max_nodes
+        for value in self._order_values(network, variable, assignment, rng, stats):
+            stats.nodes += 1
+            if budget is not None and stats.nodes > budget:
+                raise _NodeBudgetExhausted()
+            consistent, conflicts = self._check(
+                network, variable, value, assignment, depth_of, stats
+            )
+            if not consistent:
+                conflict_union |= conflicts
+                continue
+            assignment[variable] = value
+            depth_of[variable] = depth
+            solution, jump, child_conflicts = self._search(
+                network, assignment, depth_of, rng, stats
+            )
+            if solution is not None:
+                return solution, jump, child_conflicts
+            del assignment[variable]
+            del depth_of[variable]
+            if jump < depth:
+                # We are being jumped over: unwind without retrying.
+                return None, jump, child_conflicts
+            conflict_union |= child_conflicts
+
+        # Dead end: no value of `variable` extends the instantiation.
+        if self._config.jump_mode == JUMP_CHRONOLOGICAL:
+            stats.backtracks += 1
+            return None, depth - 1, set(range(depth))
+        if conflict_union:
+            jump = max(conflict_union)
+        else:
+            jump = -1  # nothing above is responsible: unwind everything
+        if jump < depth - 1:
+            stats.backjumps += 1
+        else:
+            stats.backtracks += 1
+        return None, jump, conflict_union - {jump}
+
+    # -- heuristics -------------------------------------------------------
+
+    def _select_variable(
+        self,
+        network: ConstraintNetwork,
+        assignment: dict[str, Value],
+        rng: random.Random,
+    ) -> str:
+        unassigned = [v for v in network.variables if v not in assignment]
+        if not self._config.variable_ordering:
+            return rng.choice(unassigned)
+        # Most-constraining variable: maximize constraints to the not yet
+        # instantiated part of the network ("detect a dead-end as early
+        # as possible"); break ties toward higher total degree, then
+        # smaller domain, then name (for determinism).
+        def key(variable: str) -> tuple[int, int, int, str]:
+            future_degree = sum(
+                1
+                for neighbor in network.neighbors(variable)
+                if neighbor not in assignment
+            )
+            return (
+                -future_degree,
+                -network.degree(variable),
+                len(network.domain(variable)),
+                variable,
+            )
+
+        return min(unassigned, key=key)
+
+    def _order_values(
+        self,
+        network: ConstraintNetwork,
+        variable: str,
+        assignment: dict[str, Value],
+        rng: random.Random,
+        stats: SolverStats,
+    ) -> Sequence[Value]:
+        values = list(network.domain(variable))
+        if not self._config.value_ordering:
+            rng.shuffle(values)
+            return values
+        # Least-constraining value: maximize the number of options left
+        # for the uninstantiated neighbors.
+        unassigned_neighbors = [
+            neighbor
+            for neighbor in network.neighbors(variable)
+            if neighbor not in assignment
+        ]
+
+        def support(value: Value) -> int:
+            total = 0
+            for neighbor in unassigned_neighbors:
+                constraint = network.constraint_between(variable, neighbor)
+                assert constraint is not None
+                for neighbor_value in network.domain(neighbor):
+                    stats.consistency_checks += 1
+                    if constraint.allows(variable, value, neighbor_value):
+                        total += 1
+            return total
+
+        scored = [(-support(value), index, value) for index, value in enumerate(values)]
+        scored.sort(key=lambda item: (item[0], item[1]))
+        return [value for _, _, value in scored]
+
+    # -- consistency -----------------------------------------------------
+
+    def _check(
+        self,
+        network: ConstraintNetwork,
+        variable: str,
+        value: Value,
+        assignment: dict[str, Value],
+        depth_of: dict[str, int],
+        stats: SolverStats,
+    ) -> tuple[bool, set[int]]:
+        """Check ``variable=value`` against all instantiated neighbors.
+
+        Returns (consistent, conflict_depths).  In graph mode the
+        conflict set is every instantiated neighbor (the adjacency
+        information of Figure 3); in conflict mode it is only the
+        neighbors whose constraint actually failed.
+        """
+        conflicts: set[int] = set()
+        consistent = True
+        for neighbor in network.neighbors(variable):
+            if neighbor not in assignment:
+                continue
+            constraint = network.constraint_between(variable, neighbor)
+            assert constraint is not None
+            stats.consistency_checks += 1
+            if not constraint.allows(variable, value, assignment[neighbor]):
+                consistent = False
+                if self._config.jump_mode == JUMP_CONFLICT:
+                    conflicts.add(depth_of[neighbor])
+        if not consistent and self._config.jump_mode == JUMP_GRAPH:
+            conflicts = {
+                depth_of[neighbor]
+                for neighbor in network.neighbors(variable)
+                if neighbor in assignment
+            }
+        return consistent, conflicts

@@ -1,0 +1,123 @@
+"""Forward checking solver (extension beyond the paper).
+
+Forward checking prunes the domains of uninstantiated neighbors after
+every assignment, detecting dead ends one level earlier than plain
+backtracking.  It is included as one of the "further enhancements ...
+to expedite the search" the paper's conclusion points to, and is used
+by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.csp.network import ConstraintNetwork
+from repro.csp.stats import SolverResult, SolverStats, Stopwatch
+
+Value = Hashable
+
+
+class ForwardCheckingSolver:
+    """Backtracking with forward checking and MRV variable ordering.
+
+    Complete: a ``None`` result proves unsatisfiability.
+    """
+
+    name = "forward-checking"
+
+    def __init__(self, seed: int = 0):
+        # The seed is accepted for interface symmetry; the solver is
+        # fully deterministic (MRV with lexicographic tie-break).
+        self._seed = seed
+
+    def solve(self, network: ConstraintNetwork) -> SolverResult:
+        """Find one solution (or prove there is none)."""
+        stats = SolverStats()
+        with Stopwatch(stats):
+            domains = {
+                variable: list(network.domain(variable))
+                for variable in network.variables
+            }
+            assignment: dict[str, Value] = {}
+            solution = self._search(network, assignment, domains, stats)
+        return SolverResult(solution, stats, complete=True)
+
+    def _search(
+        self,
+        network: ConstraintNetwork,
+        assignment: dict[str, Value],
+        domains: dict[str, list[Value]],
+        stats: SolverStats,
+    ) -> dict[str, Value] | None:
+        if len(assignment) == len(network.variables):
+            return dict(assignment)
+        variable = self._select_mrv(network, assignment, domains)
+        for value in list(domains[variable]):
+            stats.nodes += 1
+            pruned = self._forward_prune(
+                network, variable, value, assignment, domains, stats
+            )
+            if pruned is not None:
+                assignment[variable] = value
+                solution = self._search(network, assignment, domains, stats)
+                if solution is not None:
+                    return solution
+                del assignment[variable]
+                self._restore(domains, pruned)
+            # A None pruning result means some neighbor was wiped out;
+            # the next value is tried immediately.
+        stats.backtracks += 1
+        return None
+
+    def _select_mrv(
+        self,
+        network: ConstraintNetwork,
+        assignment: dict[str, Value],
+        domains: dict[str, list[Value]],
+    ) -> str:
+        unassigned = [v for v in network.variables if v not in assignment]
+        return min(
+            unassigned,
+            key=lambda v: (len(domains[v]), -network.degree(v), v),
+        )
+
+    def _forward_prune(
+        self,
+        network: ConstraintNetwork,
+        variable: str,
+        value: Value,
+        assignment: dict[str, Value],
+        domains: dict[str, list[Value]],
+        stats: SolverStats,
+    ) -> list[tuple[str, Value]] | None:
+        """Prune neighbor domains; None (and full rollback) on wipe-out."""
+        pruned: list[tuple[str, Value]] = []
+        for neighbor in network.neighbors(variable):
+            if neighbor in assignment:
+                # Already-checked consistency (its domain was pruned to
+                # compatible values when it was assigned).
+                constraint = network.constraint_between(variable, neighbor)
+                assert constraint is not None
+                stats.consistency_checks += 1
+                if not constraint.allows(variable, value, assignment[neighbor]):
+                    self._restore(domains, pruned)
+                    return None
+                continue
+            constraint = network.constraint_between(variable, neighbor)
+            assert constraint is not None
+            for neighbor_value in list(domains[neighbor]):
+                stats.consistency_checks += 1
+                if not constraint.allows(variable, value, neighbor_value):
+                    domains[neighbor].remove(neighbor_value)
+                    pruned.append((neighbor, neighbor_value))
+            if not domains[neighbor]:
+                self._restore(domains, pruned)
+                return None
+        return pruned
+
+    @staticmethod
+    def _restore(
+        domains: dict[str, list[Value]], pruned: list[tuple[str, Value]]
+    ) -> None:
+        for variable, value in reversed(pruned):
+            domains[variable].append(value)

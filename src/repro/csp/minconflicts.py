@@ -1,0 +1,117 @@
+"""Min-conflicts local search (incomplete solver extension).
+
+Starts from a random total assignment and repeatedly reassigns a
+conflicted variable to the value minimizing its conflict count, with
+random restarts.  Useful as a fast incomplete alternative on very large
+networks and as a cross-check oracle in tests (any assignment it
+returns is verified by :meth:`ConstraintNetwork.is_solution`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.csp.network import ConstraintNetwork
+from repro.csp.stats import SolverResult, SolverStats, Stopwatch
+
+Value = Hashable
+
+
+class MinConflictsSolver:
+    """Randomized local search; *incomplete* (None does not prove UNSAT)."""
+
+    name = "min-conflicts"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        max_steps: int = 10_000,
+        max_restarts: int = 10,
+    ):
+        if max_steps <= 0 or max_restarts <= 0:
+            raise ValueError("max_steps and max_restarts must be positive")
+        self._seed = seed
+        self._max_steps = max_steps
+        self._max_restarts = max_restarts
+
+    def solve(self, network: ConstraintNetwork) -> SolverResult:
+        """Search for a solution; gives up after the step/restart budget."""
+        stats = SolverStats()
+        rng = random.Random(self._seed)
+        with Stopwatch(stats):
+            for _ in range(self._max_restarts):
+                assignment = {
+                    variable: rng.choice(network.domain(variable))
+                    for variable in network.variables
+                }
+                solution = self._improve(network, assignment, rng, stats)
+                if solution is not None:
+                    return SolverResult(solution, stats, complete=False)
+                stats.restarts += 1
+        return SolverResult(None, stats, complete=False)
+
+    def _improve(
+        self,
+        network: ConstraintNetwork,
+        assignment: dict[str, Value],
+        rng: random.Random,
+        stats: SolverStats,
+    ) -> dict[str, Value] | None:
+        for _ in range(self._max_steps):
+            conflicted = self._conflicted_variables(network, assignment, stats)
+            if not conflicted:
+                return dict(assignment)
+            variable = rng.choice(conflicted)
+            assignment[variable] = self._best_value(
+                network, variable, assignment, rng, stats
+            )
+            stats.nodes += 1
+        return None
+
+    def _conflicted_variables(
+        self,
+        network: ConstraintNetwork,
+        assignment: dict[str, Value],
+        stats: SolverStats,
+    ) -> list[str]:
+        conflicted = []
+        for variable in network.variables:
+            if self._conflict_count(network, variable, assignment[variable], assignment, stats):
+                conflicted.append(variable)
+        return conflicted
+
+    def _conflict_count(
+        self,
+        network: ConstraintNetwork,
+        variable: str,
+        value: Value,
+        assignment: dict[str, Value],
+        stats: SolverStats,
+    ) -> int:
+        count = 0
+        for neighbor in network.neighbors(variable):
+            constraint = network.constraint_between(variable, neighbor)
+            assert constraint is not None
+            stats.consistency_checks += 1
+            if not constraint.allows(variable, value, assignment[neighbor]):
+                count += 1
+        return count
+
+    def _best_value(
+        self,
+        network: ConstraintNetwork,
+        variable: str,
+        assignment: dict[str, Value],
+        rng: random.Random,
+        stats: SolverStats,
+    ) -> Value:
+        scored: list[tuple[int, Value]] = []
+        for value in network.domain(variable):
+            conflicts = self._conflict_count(
+                network, variable, value, assignment, stats
+            )
+            scored.append((conflicts, value))
+        best = min(score for score, _ in scored)
+        candidates = [value for score, value in scored if score == best]
+        return rng.choice(candidates)

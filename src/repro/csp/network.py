@@ -1,0 +1,260 @@
+"""The binary constraint network ``CN = <P, M, S>``.
+
+Variables ``P`` are array names; each domain ``M_i`` is a list of
+candidate memory layouts; each constraint ``S_ij`` is a set of allowed
+(layout_i, layout_j) pairs -- one pair per candidate restructuring of a
+nest touching both arrays (paper, Section 3).  The classes here are
+generic over hashable values, so the same machinery runs the layout
+networks, the random scaling networks and the unit-test toys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Sequence
+
+Value = Hashable
+
+
+@dataclass(frozen=True)
+class BinaryConstraint:
+    """A constraint ``S_ij``: the allowed value pairs for two variables.
+
+    The pair set is stored oriented from ``first`` to ``second``;
+    :meth:`allows` accepts the variables in either order.
+    """
+
+    first: str
+    second: str
+    pairs: frozenset[tuple[Value, Value]]
+
+    def __post_init__(self) -> None:
+        if self.first == self.second:
+            raise ValueError(f"constraint relates {self.first} to itself")
+        if not self.pairs:
+            raise ValueError(
+                f"constraint ({self.first}, {self.second}) allows nothing; "
+                "the network is trivially unsatisfiable"
+            )
+
+    def involves(self, variable: str) -> bool:
+        """True if the constraint mentions the variable."""
+        return variable in (self.first, self.second)
+
+    def other(self, variable: str) -> str:
+        """The other endpoint.
+
+        Raises:
+            ValueError: if the variable is not an endpoint.
+        """
+        if variable == self.first:
+            return self.second
+        if variable == self.second:
+            return self.first
+        raise ValueError(f"{variable} not in constraint ({self.first},{self.second})")
+
+    def allows(self, variable: str, value: Value, other_value: Value) -> bool:
+        """True iff (value for variable, other_value for the other) is allowed."""
+        if variable == self.first:
+            return (value, other_value) in self.pairs
+        if variable == self.second:
+            return (other_value, value) in self.pairs
+        raise ValueError(f"{variable} not in constraint ({self.first},{self.second})")
+
+    def supported_values(self, variable: str, other_value: Value) -> frozenset[Value]:
+        """Values of ``variable`` compatible with the other side's value."""
+        if variable == self.first:
+            return frozenset(a for (a, b) in self.pairs if b == other_value)
+        if variable == self.second:
+            return frozenset(b for (a, b) in self.pairs if a == other_value)
+        raise ValueError(f"{variable} not in constraint ({self.first},{self.second})")
+
+
+class ConstraintNetwork:
+    """An immutable-after-build binary constraint network.
+
+    Build with :meth:`add_variable` / :meth:`add_constraint`; all query
+    methods may be used at any time.  Adding a second constraint over
+    the same variable pair intersects the allowed pairs (both nests'
+    requirements must hold simultaneously).
+    """
+
+    def __init__(self) -> None:
+        self._domains: dict[str, tuple[Value, ...]] = {}
+        self._constraints: dict[frozenset[str], BinaryConstraint] = {}
+        self._neighbors: dict[str, set[str]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_variable(self, name: str, domain: Sequence[Value]) -> None:
+        """Declare a variable with its domain.
+
+        Raises:
+            ValueError: on duplicate names or empty domains.
+        """
+        if name in self._domains:
+            raise ValueError(f"variable {name} already declared")
+        values = tuple(domain)
+        if not values:
+            raise ValueError(f"variable {name} has an empty domain")
+        if len(set(values)) != len(values):
+            raise ValueError(f"variable {name} domain has duplicates")
+        self._domains[name] = values
+        self._neighbors[name] = set()
+
+    def add_constraint(
+        self, first: str, second: str, pairs: Iterable[tuple[Value, Value]]
+    ) -> None:
+        """Add (or strengthen) the constraint between two variables.
+
+        Pairs referencing values outside the declared domains are
+        rejected.  A repeated (first, second) constraint intersects with
+        the existing one; the orientation of the stored constraint is
+        that of the first call.
+
+        Raises:
+            KeyError: for undeclared variables.
+            ValueError: for out-of-domain pairs or an empty result.
+        """
+        if first not in self._domains:
+            raise KeyError(first)
+        if second not in self._domains:
+            raise KeyError(second)
+        pair_set = frozenset((a, b) for a, b in pairs)
+        for a, b in pair_set:
+            if a not in self._domains[first]:
+                raise ValueError(f"pair value {a!r} not in domain of {first}")
+            if b not in self._domains[second]:
+                raise ValueError(f"pair value {b!r} not in domain of {second}")
+        key = frozenset((first, second))
+        existing = self._constraints.get(key)
+        if existing is not None:
+            # Intersect, re-orienting the new pairs if necessary.
+            if existing.first == first:
+                oriented = pair_set
+            else:
+                oriented = frozenset((b, a) for (a, b) in pair_set)
+            merged = existing.pairs & oriented
+            if not merged:
+                raise ValueError(
+                    f"constraints on ({first}, {second}) have empty intersection"
+                )
+            self._constraints[key] = BinaryConstraint(
+                existing.first, existing.second, merged
+            )
+            return
+        self._constraints[key] = BinaryConstraint(first, second, pair_set)
+        self._neighbors[first].add(second)
+        self._neighbors[second].add(first)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """Variable names in declaration order."""
+        return tuple(self._domains)
+
+    def domain(self, variable: str) -> tuple[Value, ...]:
+        """The declared domain of a variable."""
+        return self._domains[variable]
+
+    @property
+    def constraints(self) -> tuple[BinaryConstraint, ...]:
+        """All constraints (arbitrary but deterministic order)."""
+        return tuple(self._constraints.values())
+
+    def constraint_between(self, first: str, second: str) -> BinaryConstraint | None:
+        """The constraint over a pair, or None if unconstrained."""
+        return self._constraints.get(frozenset((first, second)))
+
+    def neighbors(self, variable: str) -> frozenset[str]:
+        """Variables sharing a constraint with the given one."""
+        return frozenset(self._neighbors[variable])
+
+    def degree(self, variable: str) -> int:
+        """Number of constraints touching the variable."""
+        return len(self._neighbors[variable])
+
+    @property
+    def total_domain_size(self) -> int:
+        """Sum of domain sizes -- the paper's Table 1 'Domain Size'."""
+        return sum(len(domain) for domain in self._domains.values())
+
+    @property
+    def search_space_size(self) -> int:
+        """Product of domain sizes (number of total assignments)."""
+        product = 1
+        for domain in self._domains.values():
+            product *= len(domain)
+        return product
+
+    def check_pair(
+        self, first: str, first_value: Value, second: str, second_value: Value
+    ) -> bool:
+        """True iff the two assignments are mutually consistent."""
+        constraint = self.constraint_between(first, second)
+        if constraint is None:
+            return True
+        return constraint.allows(first, first_value, second_value)
+
+    def is_solution(self, assignment: Mapping[str, Value]) -> bool:
+        """True iff the assignment is total and satisfies every constraint."""
+        if set(assignment) != set(self._domains):
+            return False
+        for variable, value in assignment.items():
+            if value not in self._domains[variable]:
+                return False
+        return all(
+            constraint.allows(
+                constraint.first,
+                assignment[constraint.first],
+                assignment[constraint.second],
+            )
+            for constraint in self._constraints.values()
+        )
+
+    def conflicted_constraints(
+        self, assignment: Mapping[str, Value]
+    ) -> tuple[BinaryConstraint, ...]:
+        """Constraints violated by a (possibly partial) assignment."""
+        violated = []
+        for constraint in self._constraints.values():
+            if constraint.first in assignment and constraint.second in assignment:
+                if not constraint.allows(
+                    constraint.first,
+                    assignment[constraint.first],
+                    assignment[constraint.second],
+                ):
+                    violated.append(constraint)
+        return tuple(violated)
+
+    def copy_with_domains(
+        self, domains: Mapping[str, Sequence[Value]]
+    ) -> "ConstraintNetwork":
+        """A copy with (possibly pruned) domains; constraints filtered.
+
+        Pairs whose values fell out of the new domains are dropped.
+
+        Raises:
+            ValueError: if a constraint loses all its pairs (the pruned
+                network is unsatisfiable) or a domain becomes empty.
+        """
+        clone = ConstraintNetwork()
+        for variable in self.variables:
+            clone.add_variable(variable, domains.get(variable, self.domain(variable)))
+        for constraint in self.constraints:
+            surviving = [
+                (a, b)
+                for (a, b) in constraint.pairs
+                if a in clone.domain(constraint.first)
+                and b in clone.domain(constraint.second)
+            ]
+            clone.add_constraint(constraint.first, constraint.second, surviving)
+        return clone
+
+    def __str__(self) -> str:
+        lines = [f"ConstraintNetwork({len(self.variables)} vars, "
+                 f"{len(self.constraints)} constraints)"]
+        for variable in self.variables:
+            lines.append(f"  {variable}: {len(self.domain(variable))} values")
+        return "\n".join(lines)

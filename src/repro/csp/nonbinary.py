@@ -1,0 +1,153 @@
+"""Non-binary constraints and their binary (dual) encoding.
+
+Section 3 of the paper notes that its layout formulation is binary but
+that "there are also techniques that can be used to convert non-binary
+formulations to binary ones".  This module provides exactly that: an
+n-ary constraint type (e.g. one constraint per *nest* over all its
+arrays, instead of per array pair) and the classic **dual-graph
+encoding** -- each n-ary constraint becomes a dual variable whose
+domain is its allowed tuples, and two dual variables are constrained to
+agree on their shared original variables.  Solving the dual network
+with any binary solver and decoding yields a solution of the original
+n-ary problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.csp.network import ConstraintNetwork
+
+Value = Hashable
+
+
+@dataclass(frozen=True)
+class NaryConstraint:
+    """An n-ary constraint: allowed value tuples over a variable scope.
+
+    Attributes:
+        scope: the constrained variables, in tuple order.
+        tuples: the allowed assignments, one value per scope entry.
+    """
+
+    scope: tuple[str, ...]
+    tuples: frozenset[tuple[Value, ...]]
+
+    def __post_init__(self) -> None:
+        if len(set(self.scope)) != len(self.scope):
+            raise ValueError("n-ary constraint scope repeats a variable")
+        if not self.tuples:
+            raise ValueError("n-ary constraint allows no tuples")
+        for allowed in self.tuples:
+            if len(allowed) != len(self.scope):
+                raise ValueError(
+                    f"tuple {allowed} does not match scope {self.scope}"
+                )
+
+    def allows(self, assignment: Mapping[str, Value]) -> bool:
+        """True iff the (total over scope) assignment is allowed."""
+        candidate = tuple(assignment[name] for name in self.scope)
+        return candidate in self.tuples
+
+
+@dataclass(frozen=True)
+class DualEncoding:
+    """A dual-graph binary encoding of an n-ary problem.
+
+    Attributes:
+        network: the binary network over dual variables ``c0, c1, ...``.
+        constraints: the original n-ary constraints, indexed by the
+            dual variable names.
+    """
+
+    network: ConstraintNetwork
+    constraints: dict[str, NaryConstraint]
+
+    def decode(
+        self, dual_assignment: Mapping[str, tuple[Value, ...]]
+    ) -> dict[str, Value]:
+        """Map a dual solution back to original-variable values.
+
+        Raises:
+            ValueError: if the dual assignment is internally
+                inconsistent (cannot happen for a dual-network
+                solution).
+        """
+        decoded: dict[str, Value] = {}
+        for dual_name, chosen_tuple in dual_assignment.items():
+            constraint = self.constraints[dual_name]
+            for variable, value in zip(constraint.scope, chosen_tuple):
+                if variable in decoded and decoded[variable] != value:
+                    raise ValueError(
+                        f"dual assignment disagrees on {variable}"
+                    )
+                decoded[variable] = value
+        return decoded
+
+
+def dual_encode(constraints: Sequence[NaryConstraint]) -> DualEncoding:
+    """Build the dual-graph binary encoding of n-ary constraints.
+
+    Each constraint ``c_i`` becomes a variable whose domain is its
+    tuple set; for every pair of constraints sharing original
+    variables, a binary constraint keeps the shared positions equal.
+
+    Raises:
+        ValueError: on an empty constraint list.
+    """
+    if not constraints:
+        raise ValueError("need at least one constraint to encode")
+    network = ConstraintNetwork()
+    names: dict[str, NaryConstraint] = {}
+    for index, constraint in enumerate(constraints):
+        name = f"c{index}"
+        names[name] = constraint
+        network.add_variable(name, sorted(constraint.tuples))
+    dual_items = list(names.items())
+    for i, (first_name, first) in enumerate(dual_items):
+        for second_name, second in dual_items[i + 1:]:
+            shared = [
+                (first.scope.index(v), second.scope.index(v))
+                for v in first.scope
+                if v in second.scope
+            ]
+            if not shared:
+                continue
+            pairs = [
+                (tuple_a, tuple_b)
+                for tuple_a in first.tuples
+                for tuple_b in second.tuples
+                if all(tuple_a[i1] == tuple_b[i2] for i1, i2 in shared)
+            ]
+            if not pairs:
+                # The two constraints are jointly unsatisfiable; encode
+                # that honestly by raising at build time.
+                raise ValueError(
+                    f"constraints over {first.scope} and {second.scope} "
+                    "share variables but agree on no tuples"
+                )
+            network.add_constraint(first_name, second_name, pairs)
+    return DualEncoding(network, names)
+
+
+def solve_nary(
+    constraints: Sequence[NaryConstraint], solver
+) -> dict[str, Value] | None:
+    """Encode, solve with a binary solver, and decode.
+
+    Args:
+        constraints: the n-ary problem.
+        solver: any object with ``solve(network) -> SolverResult``.
+
+    Returns:
+        An original-variable assignment, or None if unsatisfiable.
+    """
+    try:
+        encoding = dual_encode(constraints)
+    except ValueError:
+        return None
+    result = solver.solve(encoding.network)
+    if result.assignment is None:
+        return None
+    return encoding.decode(result.assignment)

@@ -1,0 +1,88 @@
+"""Search instrumentation shared by all solvers.
+
+Table 2 and Figure 4 of the paper are about solver cost; wall-clock
+time on a 2026 machine is not comparable to a 500 MHz Sparc, so every
+solver additionally reports machine-independent effort counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated during one solver run.
+
+    Attributes:
+        nodes: value-assignment attempts (forward-phase steps).
+        backtracks: chronological returns to the previous variable.
+        backjumps: non-chronological jumps (skipping >= 1 variable).
+        consistency_checks: individual pair-compatibility tests.
+        restarts: local-search restarts (min-conflicts only).
+        time_seconds: wall-clock solve time.
+    """
+
+    nodes: int = 0
+    backtracks: int = 0
+    backjumps: int = 0
+    consistency_checks: int = 0
+    restarts: int = 0
+    time_seconds: float = 0.0
+
+    @property
+    def total_effort(self) -> int:
+        """A single machine-independent cost figure for comparisons."""
+        return self.nodes + self.consistency_checks
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view used by reports and benchmarks."""
+        return {
+            "nodes": self.nodes,
+            "backtracks": self.backtracks,
+            "backjumps": self.backjumps,
+            "consistency_checks": self.consistency_checks,
+            "restarts": self.restarts,
+            "time_seconds": self.time_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Outcome of a solver run.
+
+    Attributes:
+        assignment: a satisfying total assignment, or ``None`` when the
+            network was proven (or believed, for incomplete solvers)
+            unsatisfiable.
+        stats: the effort counters for the run.
+        complete: True when a ``None`` assignment is a *proof* of
+            unsatisfiability (systematic solvers), False for incomplete
+            solvers that merely gave up.
+    """
+
+    assignment: Mapping[str, Hashable] | None
+    stats: SolverStats
+    complete: bool = True
+
+    @property
+    def satisfiable(self) -> bool:
+        """True when a solution was found."""
+        return self.assignment is not None
+
+
+class Stopwatch:
+    """Tiny context manager writing elapsed seconds into a stats object."""
+
+    def __init__(self, stats: SolverStats):
+        self._stats = stats
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stats.time_seconds = time.perf_counter() - self._start

@@ -1,0 +1,71 @@
+"""Array declarations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Bytes per element for the supported element types.
+ELEMENT_SIZES: dict[str, int] = {
+    "float32": 4,
+    "float64": 8,
+    "int8": 1,
+    "int16": 2,
+    "int32": 4,
+    "int64": 8,
+}
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """Declaration of a program array.
+
+    Attributes:
+        name: array identifier, unique within a program.
+        extents: inclusive sizes per dimension (e.g. ``(256, 256)``).
+        element_type: one of :data:`ELEMENT_SIZES` keys.
+    """
+
+    name: str
+    extents: tuple[int, ...]
+    element_type: str = "float32"
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ValueError(f"invalid array name: {self.name!r}")
+        if not self.extents:
+            raise ValueError(f"array {self.name} must have at least one dimension")
+        if any(extent <= 0 for extent in self.extents):
+            raise ValueError(f"array {self.name} has non-positive extent")
+        if self.element_type not in ELEMENT_SIZES:
+            raise ValueError(
+                f"array {self.name}: unknown element type {self.element_type!r}"
+            )
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.extents)
+
+    @property
+    def element_size(self) -> int:
+        """Bytes per element."""
+        return ELEMENT_SIZES[self.element_type]
+
+    @property
+    def element_count(self) -> int:
+        """Total number of elements."""
+        return math.prod(self.extents)
+
+    @property
+    def byte_size(self) -> int:
+        """Total footprint in bytes."""
+        return self.element_count * self.element_size
+
+    def index_box(self) -> tuple[tuple[int, int], ...]:
+        """Inclusive (low, high) index bounds per dimension."""
+        return tuple((0, extent - 1) for extent in self.extents)
+
+    def __str__(self) -> str:
+        dims = "".join(f"[{extent}]" for extent in self.extents)
+        return f"{self.element_type} {self.name}{dims}"

@@ -1,0 +1,142 @@
+"""Affine expressions over loop index variables.
+
+An :class:`AffineExpr` is an immutable integer-affine form
+``sum_i c_i * x_i + k`` where each ``x_i`` is a loop index name.  Array
+subscripts, loop bounds and dependence differences are all affine
+expressions; the access matrix of a reference is assembled from the
+coefficients of its subscript expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """An integer affine expression ``sum(coeffs[name] * name) + const``.
+
+    Instances are immutable and hashable; arithmetic returns new
+    expressions.  Zero coefficients are never stored.
+    """
+
+    coeffs: tuple[tuple[str, int], ...] = ()
+    const: int = 0
+
+    @staticmethod
+    def constant(value: int) -> "AffineExpr":
+        """The constant expression ``value``."""
+        return AffineExpr((), int(value))
+
+    @staticmethod
+    def var(name: str, coefficient: int = 1) -> "AffineExpr":
+        """The expression ``coefficient * name``."""
+        if coefficient == 0:
+            return AffineExpr((), 0)
+        return AffineExpr(((name, int(coefficient)),), 0)
+
+    @staticmethod
+    def from_mapping(mapping: Mapping[str, int], const: int = 0) -> "AffineExpr":
+        """Build from a name->coefficient mapping, dropping zeros."""
+        items = tuple(
+            sorted((name, int(c)) for name, c in mapping.items() if c != 0)
+        )
+        return AffineExpr(items, int(const))
+
+    def coeff_map(self) -> dict[str, int]:
+        """The name->coefficient mapping (zero coefficients absent)."""
+        return dict(self.coeffs)
+
+    def coefficient(self, name: str) -> int:
+        """Coefficient of ``name`` (0 when absent)."""
+        return dict(self.coeffs).get(name, 0)
+
+    def variables(self) -> tuple[str, ...]:
+        """Names with nonzero coefficient, sorted."""
+        return tuple(name for name, _ in self.coeffs)
+
+    def is_constant(self) -> bool:
+        """True when no variable has a nonzero coefficient."""
+        return not self.coeffs
+
+    def coefficients_for(self, order: Sequence[str]) -> tuple[int, ...]:
+        """Coefficient row for the given variable order.
+
+        Raises:
+            ValueError: if the expression mentions a variable missing
+                from ``order``.
+        """
+        mapping = dict(self.coeffs)
+        row = tuple(mapping.pop(name, 0) for name in order)
+        if mapping:
+            missing = ", ".join(sorted(mapping))
+            raise ValueError(f"expression uses variables not in order: {missing}")
+        return row
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        """Evaluate at a point; missing variables raise ``KeyError``."""
+        return self.const + sum(c * values[name] for name, c in self.coeffs)
+
+    def substitute(self, bindings: Mapping[str, "AffineExpr"]) -> "AffineExpr":
+        """Replace variables by affine expressions (unbound names kept)."""
+        result = AffineExpr.constant(self.const)
+        for name, coefficient in self.coeffs:
+            replacement = bindings.get(name, AffineExpr.var(name))
+            result = result + replacement * coefficient
+        return result
+
+    def __add__(self, other: "AffineExpr | int") -> "AffineExpr":
+        if isinstance(other, int):
+            other = AffineExpr.constant(other)
+        merged = dict(self.coeffs)
+        for name, coefficient in other.coeffs:
+            merged[name] = merged.get(name, 0) + coefficient
+        return AffineExpr.from_mapping(merged, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr(
+            tuple((name, -c) for name, c in self.coeffs), -self.const
+        )
+
+    def __sub__(self, other: "AffineExpr | int") -> "AffineExpr":
+        if isinstance(other, int):
+            other = AffineExpr.constant(other)
+        return self + (-other)
+
+    def __rsub__(self, other: int) -> "AffineExpr":
+        return AffineExpr.constant(other) - self
+
+    def __mul__(self, factor: int) -> "AffineExpr":
+        if not isinstance(factor, int):
+            raise TypeError("affine expressions only scale by integers")
+        if factor == 0:
+            return AffineExpr.constant(0)
+        return AffineExpr(
+            tuple((name, c * factor) for name, c in self.coeffs),
+            self.const * factor,
+        )
+
+    __rmul__ = __mul__
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for name, coefficient in self.coeffs:
+            if coefficient == 1:
+                term = name
+            elif coefficient == -1:
+                term = f"-{name}"
+            else:
+                term = f"{coefficient}*{name}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+{term}")
+            else:
+                parts.append(term)
+        if self.const or not parts:
+            if parts and self.const >= 0:
+                parts.append(f"+{self.const}")
+            else:
+                parts.append(str(self.const))
+        return "".join(parts)

@@ -1,0 +1,122 @@
+"""Loops and perfectly nested loop nests."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.ir.reference import ArrayRef
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A normalized loop ``for index = lower .. upper`` (inclusive, step 1).
+
+    The paper's examples use C loops ``for (i=0; i<N; i++)``; the parser
+    normalizes them to inclusive bounds ``0 .. N-1``.
+    """
+
+    index: str
+    lower: int
+    upper: int
+
+    def __post_init__(self) -> None:
+        if not self.index.isidentifier():
+            raise ValueError(f"invalid loop index name: {self.index!r}")
+        if self.lower > self.upper:
+            raise ValueError(
+                f"loop {self.index}: empty range {self.lower}..{self.upper}"
+            )
+
+    @property
+    def trip_count(self) -> int:
+        """Number of iterations."""
+        return self.upper - self.lower + 1
+
+    def __str__(self) -> str:
+        return f"for {self.index} = {self.lower}..{self.upper}"
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A perfectly nested loop nest with an affine body.
+
+    Attributes:
+        name: nest identifier, unique within a program.
+        loops: outermost-to-innermost loops.
+        body: array references executed each innermost iteration, in
+            program order (reads before the write of a statement).
+        weight: relative importance multiplier (the heuristic of [9]
+            orders nests by ``weight * trip_count``; it models e.g. a
+            nest sitting inside an outer time-step loop).
+    """
+
+    name: str
+    loops: tuple[Loop, ...]
+    body: tuple[ArrayRef, ...]
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            raise ValueError(f"nest {self.name} has no loops")
+        if not self.body:
+            raise ValueError(f"nest {self.name} has an empty body")
+        if self.weight <= 0:
+            raise ValueError(f"nest {self.name} has non-positive weight")
+        names = [loop.index for loop in self.loops]
+        if len(set(names)) != len(names):
+            raise ValueError(f"nest {self.name} repeats a loop index")
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth (number of loops)."""
+        return len(self.loops)
+
+    @property
+    def index_order(self) -> tuple[str, ...]:
+        """Loop index names, outermost first."""
+        return tuple(loop.index for loop in self.loops)
+
+    @property
+    def trip_count(self) -> int:
+        """Total number of innermost iterations."""
+        return math.prod(loop.trip_count for loop in self.loops)
+
+    @property
+    def estimated_cost(self) -> int:
+        """Importance for nest ordering: weight x iterations x references."""
+        return self.weight * self.trip_count * len(self.body)
+
+    def arrays(self) -> tuple[str, ...]:
+        """Distinct array names referenced, in first-appearance order."""
+        seen: list[str] = []
+        for reference in self.body:
+            if reference.array not in seen:
+                seen.append(reference.array)
+        return tuple(seen)
+
+    def references_to(self, array: str) -> tuple[ArrayRef, ...]:
+        """All references to one array."""
+        return tuple(ref for ref in self.body if ref.array == array)
+
+    def iteration_box(self) -> tuple[tuple[int, int], ...]:
+        """Inclusive (lower, upper) bounds per loop, outermost first."""
+        return tuple((loop.lower, loop.upper) for loop in self.loops)
+
+    def iterations(self) -> Iterator[tuple[int, ...]]:
+        """Iterate the iteration space in lexicographic (program) order."""
+        def recurse(prefix: tuple[int, ...], remaining: Sequence[Loop]) -> Iterator[tuple[int, ...]]:
+            if not remaining:
+                yield prefix
+                return
+            head = remaining[0]
+            for value in range(head.lower, head.upper + 1):
+                yield from recurse(prefix + (value,), remaining[1:])
+
+        return recurse((), self.loops)
+
+    def __str__(self) -> str:
+        header = " / ".join(str(loop) for loop in self.loops)
+        refs = ", ".join(str(ref) for ref in self.body)
+        return f"nest {self.name} [{header}] {{ {refs} }}"

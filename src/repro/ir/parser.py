@@ -1,0 +1,285 @@
+"""Parser for the benchmark kernel mini-language.
+
+Benchmarks are written in a small textual language mirroring the C
+kernels the paper optimizes.  Example (the nest of Figure 2)::
+
+    array Q1[512][512] : float32
+    array Q2[512][512] : float32
+
+    nest fig2 weight=1 {
+        for i1 = 0 .. 255 {
+            for i2 = 0 .. 255 {
+                Q1[i1+i2][i2] = Q2[i1+i2][i1]
+            }
+        }
+    }
+
+Grammar (EBNF, ``#`` starts a line comment)::
+
+    program    = { array_decl | nest } ;
+    array_decl = "array" NAME { "[" INT "]" } [ ":" TYPE ] ;
+    nest       = "nest" NAME [ "weight" "=" INT ] "{" loop "}" ;
+    loop       = "for" NAME "=" INT ".." INT "{" ( loop | { stmt } ) "}" ;
+    stmt       = ref "=" rhs              (* lhs is a store *)
+               | "load" ref { "," ref }   (* explicit loads *)
+               ;
+    rhs        = ref { ("+"|"-"|"*") ref } ;
+    ref        = NAME { "[" affine "]" } ;
+    affine     = ["-"] aterm { ("+"|"-") aterm } ;
+    aterm      = INT [ "*" NAME ] | NAME ;
+
+Loop nests must be perfectly nested: statements may only appear in the
+innermost loop.  In an assignment, the right-hand-side references are
+READs (emitted in textual order) and the left-hand side is a WRITE
+emitted last, matching load/store order of a compiled statement.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.ir.arrays import ArrayDecl, ELEMENT_SIZES
+from repro.ir.expr import AffineExpr
+from repro.ir.loops import Loop, LoopNest
+from repro.ir.program import Program
+from repro.ir.reference import AccessKind, ArrayRef
+
+
+class ParseError(ValueError):
+    """Raised on any syntactic or lexical error, with line information."""
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # NAME | INT | PUNCT
+    text: str
+    line: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<nl>\n)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<dots>\.\.)
+  | (?P<punct>[\[\]{}=+\-*:,])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"line {line}: unexpected character {text[pos]!r}")
+        pos = match.end()
+        if match.lastgroup == "nl":
+            line += 1
+        elif match.lastgroup == "int":
+            tokens.append(_Token("INT", match.group(), line))
+        elif match.lastgroup == "name":
+            tokens.append(_Token("NAME", match.group(), line))
+        elif match.lastgroup in ("dots", "punct"):
+            tokens.append(_Token("PUNCT", match.group(), line))
+        # whitespace and comments are skipped
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            raise ParseError(
+                f"line {token.line}: expected {text!r}, found {token.text!r}"
+            )
+        return token
+
+    def _expect_kind(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"line {token.line}: expected {kind}, found {token.text!r}"
+            )
+        return token
+
+    def _at(self, text: str) -> bool:
+        token = self._peek()
+        return token is not None and token.text == text
+
+    # -- grammar ------------------------------------------------------
+
+    def parse_program(self, name: str) -> Program:
+        arrays: list[ArrayDecl] = []
+        nests: list[LoopNest] = []
+        while self._peek() is not None:
+            if self._at("array"):
+                arrays.append(self._parse_array_decl())
+            elif self._at("nest"):
+                nests.append(self._parse_nest())
+            else:
+                token = self._peek()
+                assert token is not None
+                raise ParseError(
+                    f"line {token.line}: expected 'array' or 'nest', "
+                    f"found {token.text!r}"
+                )
+        return Program(name, tuple(arrays), tuple(nests))
+
+    def _parse_array_decl(self) -> ArrayDecl:
+        self._expect("array")
+        name = self._expect_kind("NAME").text
+        extents: list[int] = []
+        while self._at("["):
+            self._expect("[")
+            extents.append(int(self._expect_kind("INT").text))
+            self._expect("]")
+        if not extents:
+            raise ParseError(f"array {name} declared without dimensions")
+        element_type = "float32"
+        if self._at(":"):
+            self._expect(":")
+            type_token = self._expect_kind("NAME")
+            if type_token.text not in ELEMENT_SIZES:
+                raise ParseError(
+                    f"line {type_token.line}: unknown element type "
+                    f"{type_token.text!r}"
+                )
+            element_type = type_token.text
+        return ArrayDecl(name, tuple(extents), element_type)
+
+    def _parse_nest(self) -> LoopNest:
+        self._expect("nest")
+        name = self._expect_kind("NAME").text
+        weight = 1
+        if self._at("weight"):
+            self._expect("weight")
+            self._expect("=")
+            weight = int(self._expect_kind("INT").text)
+        self._expect("{")
+        loops, body = self._parse_loop()
+        self._expect("}")
+        return LoopNest(name, tuple(loops), tuple(body), weight)
+
+    def _parse_loop(self) -> tuple[list[Loop], list[ArrayRef]]:
+        self._expect("for")
+        index = self._expect_kind("NAME").text
+        self._expect("=")
+        lower = self._parse_signed_int()
+        self._expect("..")
+        upper = self._parse_signed_int()
+        self._expect("{")
+        loops = [Loop(index, lower, upper)]
+        body: list[ArrayRef] = []
+        if self._at("for"):
+            inner_loops, body = self._parse_loop()
+            loops.extend(inner_loops)
+        else:
+            while not self._at("}"):
+                body.extend(self._parse_statement())
+        self._expect("}")
+        return loops, body
+
+    def _parse_signed_int(self) -> int:
+        negative = False
+        if self._at("-"):
+            self._expect("-")
+            negative = True
+        value = int(self._expect_kind("INT").text)
+        return -value if negative else value
+
+    def _parse_statement(self) -> list[ArrayRef]:
+        if self._at("load"):
+            self._expect("load")
+            refs = [self._parse_ref(AccessKind.READ)]
+            while self._at(","):
+                self._expect(",")
+                refs.append(self._parse_ref(AccessKind.READ))
+            return refs
+        # Assignment: lhs_ref = rhs
+        target = self._parse_ref(AccessKind.WRITE)
+        self._expect("=")
+        reads = [self._parse_ref(AccessKind.READ)]
+        while self._at("+") or self._at("-") or self._at("*"):
+            self._next()
+            reads.append(self._parse_ref(AccessKind.READ))
+        return reads + [target]
+
+    def _parse_ref(self, kind: AccessKind) -> ArrayRef:
+        name = self._expect_kind("NAME").text
+        subscripts: list[AffineExpr] = []
+        while self._at("["):
+            self._expect("[")
+            subscripts.append(self._parse_affine())
+            self._expect("]")
+        if not subscripts:
+            raise ParseError(f"reference to {name} has no subscripts")
+        return ArrayRef(name, tuple(subscripts), kind)
+
+    def _parse_affine(self) -> AffineExpr:
+        result = self._parse_affine_term(negated=self._consume_leading_minus())
+        while self._at("+") or self._at("-"):
+            operator = self._next().text
+            term = self._parse_affine_term(negated=(operator == "-"))
+            result = result + term
+        return result
+
+    def _consume_leading_minus(self) -> bool:
+        if self._at("-"):
+            self._expect("-")
+            return True
+        return False
+
+    def _parse_affine_term(self, negated: bool) -> AffineExpr:
+        token = self._next()
+        if token.kind == "INT":
+            coefficient = int(token.text)
+            if self._at("*"):
+                self._expect("*")
+                name = self._expect_kind("NAME").text
+                term = AffineExpr.var(name, coefficient)
+            else:
+                term = AffineExpr.constant(coefficient)
+        elif token.kind == "NAME":
+            term = AffineExpr.var(token.text)
+        else:
+            raise ParseError(
+                f"line {token.line}: expected subscript term, found {token.text!r}"
+            )
+        return -term if negated else term
+
+
+def parse_program(text: str, name: str = "program") -> Program:
+    """Parse mini-language source into a :class:`~repro.ir.Program`.
+
+    Raises:
+        ParseError: on any lexical or syntactic error.
+    """
+    return _Parser(_tokenize(text)).parse_program(name)

@@ -1,0 +1,75 @@
+"""Whole-program container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.ir.arrays import ArrayDecl
+from repro.ir.loops import LoopNest
+
+
+@dataclass(frozen=True)
+class Program:
+    """An array program: declarations plus a sequence of loop nests.
+
+    Attributes:
+        name: program identifier (used in reports).
+        arrays: declarations, keyed by array name.
+        nests: loop nests in program order.
+    """
+
+    name: str
+    arrays: tuple[ArrayDecl, ...]
+    nests: tuple[LoopNest, ...]
+
+    def __post_init__(self) -> None:
+        names = [decl.name for decl in self.arrays]
+        if len(set(names)) != len(names):
+            raise ValueError(f"program {self.name} declares an array twice")
+        nest_names = [nest.name for nest in self.nests]
+        if len(set(nest_names)) != len(nest_names):
+            raise ValueError(f"program {self.name} repeats a nest name")
+
+    def array(self, name: str) -> ArrayDecl:
+        """Look up a declaration by name.
+
+        Raises:
+            KeyError: if no array with that name is declared.
+        """
+        for decl in self.arrays:
+            if decl.name == name:
+                return decl
+        raise KeyError(name)
+
+    def array_names(self) -> tuple[str, ...]:
+        """Declared array names, in declaration order."""
+        return tuple(decl.name for decl in self.arrays)
+
+    def nests_referencing(self, array: str) -> tuple[LoopNest, ...]:
+        """All nests that touch the given array."""
+        return tuple(nest for nest in self.nests if array in nest.arrays())
+
+    def total_data_bytes(self) -> int:
+        """Sum of array footprints (the paper's Table 1 'Data Size')."""
+        return sum(decl.byte_size for decl in self.arrays)
+
+    def referenced_arrays(self) -> tuple[str, ...]:
+        """Arrays referenced by at least one nest, in declaration order."""
+        used = {name for nest in self.nests for name in nest.arrays()}
+        return tuple(name for name in self.array_names() if name in used)
+
+    def __str__(self) -> str:
+        lines = [f"program {self.name}:"]
+        lines.extend(f"  {decl}" for decl in self.arrays)
+        lines.extend(f"  {nest}" for nest in self.nests)
+        return "\n".join(lines)
+
+
+def make_program(
+    name: str,
+    arrays: Iterable[ArrayDecl],
+    nests: Iterable[LoopNest],
+) -> Program:
+    """Convenience constructor accepting any iterables."""
+    return Program(name, tuple(arrays), tuple(nests))

@@ -1,0 +1,86 @@
+"""Affine array references.
+
+A reference ``Q[f1(I)]...[fm(I)]`` inside a nest with index vector
+``I = (i1 ... in)`` is captured by its *access matrix* ``A`` (the
+``m x n`` coefficient matrix of the subscripts) and *offset vector*
+``b``, so the accessed element is ``d = A I + b``.  This is the object
+Section 2 of the paper manipulates: the layout constraint for spatial
+locality between iterations ``I`` and ``I + e`` is
+``Y . (A e) = 0`` for every hyperplane row ``Y`` of the layout.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.ir.expr import AffineExpr
+
+
+class AccessKind(enum.Enum):
+    """Whether a reference reads or writes its array."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """An affine reference to an array.
+
+    Attributes:
+        array: name of the referenced array.
+        subscripts: one affine expression per array dimension.
+        kind: read or write.
+    """
+
+    array: str
+    subscripts: tuple[AffineExpr, ...]
+    kind: AccessKind = AccessKind.READ
+
+    def __post_init__(self) -> None:
+        if not self.subscripts:
+            raise ValueError(f"reference to {self.array} has no subscripts")
+
+    @property
+    def rank(self) -> int:
+        """Number of subscript dimensions."""
+        return len(self.subscripts)
+
+    @property
+    def is_write(self) -> bool:
+        """True for stores."""
+        return self.kind is AccessKind.WRITE
+
+    def access_matrix(self, index_order: Sequence[str]) -> tuple[tuple[int, ...], ...]:
+        """The ``m x n`` coefficient matrix A for the given loop order.
+
+        Raises:
+            ValueError: if a subscript uses a variable not in
+                ``index_order``.
+        """
+        return tuple(
+            subscript.coefficients_for(index_order) for subscript in self.subscripts
+        )
+
+    def offset_vector(self) -> tuple[int, ...]:
+        """The constant offset vector b."""
+        return tuple(subscript.const for subscript in self.subscripts)
+
+    def element_at(self, values: Mapping[str, int]) -> tuple[int, ...]:
+        """The array element index touched at the given iteration point."""
+        return tuple(subscript.evaluate(values) for subscript in self.subscripts)
+
+    def substituted(self, bindings: Mapping[str, AffineExpr]) -> "ArrayRef":
+        """A copy with loop indices rewritten (used by loop transforms)."""
+        return ArrayRef(
+            self.array,
+            tuple(subscript.substitute(bindings) for subscript in self.subscripts),
+            self.kind,
+        )
+
+    def __str__(self) -> str:
+        subs = "".join(f"[{subscript}]" for subscript in self.subscripts)
+        marker = "W" if self.is_write else "R"
+        return f"{self.array}{subs}:{marker}"

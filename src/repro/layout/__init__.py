@@ -1,0 +1,60 @@
+"""Hyperplane-based memory layout algebra (Section 2 of the paper).
+
+A memory layout of a ``k``-dimensional array is an *ordered* set of
+``k - 1`` integer hyperplane vectors: two elements are stored in the
+same innermost block iff every hyperplane row gives them equal dot
+products.  This subpackage provides:
+
+* :mod:`repro.layout.hyperplane` -- a single hyperplane family.
+* :mod:`repro.layout.layout` -- full layouts, canonical forms, the
+  standard layouts (row-major, column-major, (anti)diagonal).
+* :mod:`repro.layout.mapping` -- completion of a layout to a
+  nonsingular data transformation and the resulting index -> linear
+  offset map over the transformed bounding box.
+* :mod:`repro.layout.locality` -- the locality equation
+  ``Y . (A e) = 0`` and layout derivation from access deltas.
+* :mod:`repro.layout.candidates` -- per-nest candidate layout
+  enumeration for each array under candidate loop restructurings.
+"""
+
+from repro.layout.hyperplane import Hyperplane
+from repro.layout.layout import (
+    Layout,
+    row_major,
+    column_major,
+    diagonal,
+    antidiagonal,
+    standard_layouts,
+)
+from repro.layout.mapping import LayoutMapping
+from repro.layout.locality import (
+    access_delta,
+    layout_for_deltas,
+    preferred_layout,
+    has_spatial_locality,
+    has_temporal_locality,
+)
+from repro.layout.candidates import (
+    nest_layout_combos,
+    candidate_layouts_for_array,
+    LayoutCombo,
+)
+
+__all__ = [
+    "Hyperplane",
+    "Layout",
+    "row_major",
+    "column_major",
+    "diagonal",
+    "antidiagonal",
+    "standard_layouts",
+    "LayoutMapping",
+    "access_delta",
+    "layout_for_deltas",
+    "preferred_layout",
+    "has_spatial_locality",
+    "has_temporal_locality",
+    "nest_layout_combos",
+    "candidate_layouts_for_array",
+    "LayoutCombo",
+]

@@ -1,0 +1,49 @@
+"""A single hyperplane family ``{d : y . d = c}``.
+
+The vector ``y`` names the *family*; each constant ``c`` picks one
+member.  In a row-major 2-D array the family is ``(1 0)`` and the
+constant is simply the row number (the paper's Figure 1(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.linalg.vectors import canonical_hyperplane_vector, dot
+
+
+@dataclass(frozen=True)
+class Hyperplane:
+    """An integer hyperplane family in canonical (primitive) form.
+
+    Construction canonicalizes: ``Hyperplane((2, -2)) == Hyperplane((1, -1))``.
+    """
+
+    vector: tuple[int, ...]
+
+    def __init__(self, vector: Sequence[int]):
+        object.__setattr__(
+            self, "vector", canonical_hyperplane_vector(tuple(vector))
+        )
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the space the hyperplane lives in."""
+        return len(self.vector)
+
+    def constant_for(self, point: Sequence[int]) -> int:
+        """The hyperplane constant ``c = y . d`` of the member through ``point``."""
+        return dot(self.vector, point)
+
+    def same_hyperplane(self, first: Sequence[int], second: Sequence[int]) -> bool:
+        """True iff the two points lie on the same family member.
+
+        This is exactly the paper's membership test
+        ``y . d1 == y . d2``.
+        """
+        return self.constant_for(first) == self.constant_for(second)
+
+    def __str__(self) -> str:
+        inner = "  ".join(str(component) for component in self.vector)
+        return f"({inner})"

@@ -1,0 +1,107 @@
+"""Index -> linear offset mapping induced by a layout.
+
+To materialize a layout we complete its ``k - 1`` hyperplane rows with
+one extra row into a nonsingular data-transformation matrix ``T`` and
+store the array row-major over the bounding box of the transformed
+index set ``{T d : d in extents}``.  For row-major layouts ``T`` is the
+identity; for column-major it is the reversal permutation; for the
+diagonal layout ``(1 -1)`` the box inflates to ``N1 + N2 - 1`` columns
+-- exactly the data-space growth the paper's footnote 2 describes for
+non-primitive vectors (primitive vectors keep the inflation minimal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.ir.arrays import ArrayDecl
+from repro.layout.layout import Layout
+from repro.linalg.boxes import affine_range_over_box
+from repro.linalg.matrices import mat_vec
+from repro.linalg.unimodular import complete_to_unimodular
+
+
+@dataclass(frozen=True)
+class LayoutMapping:
+    """Precomputed offset map for one (array, layout) pair.
+
+    Attributes:
+        decl: the array declaration.
+        layout: the memory layout being materialized.
+        transform: the completed nonsingular ``k x k`` matrix ``T``.
+        lows: per transformed dimension, the minimum coordinate.
+        extents: per transformed dimension, the bounding-box size.
+        strides: row-major element strides over the transformed box.
+    """
+
+    decl: ArrayDecl
+    layout: Layout
+    transform: tuple[tuple[int, ...], ...]
+    lows: tuple[int, ...]
+    extents: tuple[int, ...]
+    strides: tuple[int, ...]
+
+    @staticmethod
+    def create(decl: ArrayDecl, layout: Layout) -> "LayoutMapping":
+        """Build the mapping for an array under a layout.
+
+        Raises:
+            ValueError: if the layout rank does not match the array.
+        """
+        if layout.dimension != decl.rank:
+            raise ValueError(
+                f"layout rank {layout.dimension} does not match array "
+                f"{decl.name} rank {decl.rank}"
+            )
+        transform = complete_to_unimodular(layout.rows, decl.rank)
+        box = decl.index_box()
+        lows: list[int] = []
+        extents: list[int] = []
+        for row in transform:
+            low, high = affine_range_over_box(row, 0, box)
+            lows.append(low)
+            extents.append(high - low + 1)
+        strides = [0] * decl.rank
+        running = 1
+        for axis in range(decl.rank - 1, -1, -1):
+            strides[axis] = running
+            running *= extents[axis]
+        return LayoutMapping(
+            decl,
+            layout,
+            transform,
+            tuple(lows),
+            tuple(extents),
+            tuple(strides),
+        )
+
+    @property
+    def footprint_elements(self) -> int:
+        """Bounding-box size in elements (>= the array's element count)."""
+        product = 1
+        for extent in self.extents:
+            product *= extent
+        return product
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Bounding-box size in bytes."""
+        return self.footprint_elements * self.decl.element_size
+
+    @property
+    def inflation(self) -> float:
+        """Footprint growth factor relative to the dense array (1.0 = none)."""
+        return self.footprint_elements / self.decl.element_count
+
+    def offset_of(self, index: Sequence[int]) -> int:
+        """Linear element offset of an array element under this layout."""
+        transformed = mat_vec(self.transform, index)
+        offset = 0
+        for coordinate, low, stride in zip(transformed, self.lows, self.strides):
+            offset += (coordinate - low) * stride
+        return offset
+
+    def byte_offset_of(self, index: Sequence[int]) -> int:
+        """Linear byte offset of an array element under this layout."""
+        return self.offset_of(index) * self.decl.element_size

@@ -1,0 +1,80 @@
+"""Exact integer/rational linear algebra used by the layout machinery.
+
+The layout representation of the paper (Section 2) is built on integer
+hyperplane vectors and unimodular data transformations, so floating
+point is never appropriate here.  This subpackage provides exact
+arithmetic over Python integers and :class:`fractions.Fraction`:
+
+* :mod:`repro.linalg.vectors` -- primitive integer vectors, gcd
+  normalization, dot products, lexicographic canonical forms.
+* :mod:`repro.linalg.matrices` -- integer matrices: multiplication,
+  determinants (Bareiss), exact inverses, rank.
+* :mod:`repro.linalg.nullspace` -- integer (left) null-space bases.
+* :mod:`repro.linalg.unimodular` -- extended-gcd row completion of a
+  set of independent integer rows to a unimodular/nonsingular matrix,
+  and Hermite normal form.
+* :mod:`repro.linalg.boxes` -- exact extrema of affine forms over
+  integer boxes (used to compute transformed-array extents).
+"""
+
+from repro.linalg.vectors import (
+    gcd_many,
+    is_zero_vector,
+    normalize_primitive,
+    canonical_hyperplane_vector,
+    dot,
+    vec_add,
+    vec_sub,
+    vec_scale,
+    lex_positive,
+)
+from repro.linalg.matrices import (
+    identity_matrix,
+    mat_mul,
+    mat_vec,
+    mat_transpose,
+    determinant,
+    rank,
+    inverse_rational,
+    inverse_integer,
+    is_unimodular,
+    mat_equal,
+    copy_matrix,
+)
+from repro.linalg.nullspace import nullspace_basis, left_nullspace_basis
+from repro.linalg.unimodular import (
+    hermite_normal_form,
+    complete_to_nonsingular,
+    complete_to_unimodular,
+)
+from repro.linalg.boxes import affine_range_over_box, box_corners
+
+__all__ = [
+    "gcd_many",
+    "is_zero_vector",
+    "normalize_primitive",
+    "canonical_hyperplane_vector",
+    "dot",
+    "vec_add",
+    "vec_sub",
+    "vec_scale",
+    "lex_positive",
+    "identity_matrix",
+    "mat_mul",
+    "mat_vec",
+    "mat_transpose",
+    "determinant",
+    "rank",
+    "inverse_rational",
+    "inverse_integer",
+    "is_unimodular",
+    "mat_equal",
+    "copy_matrix",
+    "nullspace_basis",
+    "left_nullspace_basis",
+    "hermite_normal_form",
+    "complete_to_nonsingular",
+    "complete_to_unimodular",
+    "affine_range_over_box",
+    "box_corners",
+]

@@ -1,0 +1,52 @@
+"""Exact extrema of affine forms over integer boxes.
+
+After a data transformation ``d' = T d`` the transformed array is laid
+out row-major over the *bounding box* of the transformed index set.
+Each transformed coordinate is an affine form over the original index
+box, so its extent is the exact min/max of a linear function over a box
+-- computed coordinate-wise in O(k), no corner enumeration needed.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Sequence
+
+
+def affine_range_over_box(
+    coefficients: Sequence[int],
+    constant: int,
+    box: Sequence[tuple[int, int]],
+) -> tuple[int, int]:
+    """Exact (min, max) of ``coefficients . x + constant`` for x in ``box``.
+
+    Args:
+        coefficients: integer coefficients of the linear form.
+        constant: additive constant.
+        box: inclusive (low, high) bounds per dimension.
+
+    Raises:
+        ValueError: on length mismatch or an empty box (low > high).
+    """
+    if len(coefficients) != len(box):
+        raise ValueError("coefficient/box dimension mismatch")
+    low_total = constant
+    high_total = constant
+    for coefficient, (low, high) in zip(coefficients, box):
+        if low > high:
+            raise ValueError(f"empty box dimension: ({low}, {high})")
+        if coefficient >= 0:
+            low_total += coefficient * low
+            high_total += coefficient * high
+        else:
+            low_total += coefficient * high
+            high_total += coefficient * low
+    return (low_total, high_total)
+
+
+def box_corners(box: Sequence[tuple[int, int]]) -> Iterable[tuple[int, ...]]:
+    """Yield all corners of an integer box (2^k corners for k dims).
+
+    Only used by tests as an oracle for :func:`affine_range_over_box`.
+    """
+    return product(*[(low, high) for (low, high) in box])

@@ -1,0 +1,209 @@
+"""Exact integer-matrix operations.
+
+Matrices are represented as tuples of tuples of Python integers (rows of
+columns), which keeps them hashable -- layouts and data transformations
+are used as dictionary keys and CSP domain values throughout the
+library.  All algorithms here are exact: determinants use fraction-free
+Bareiss elimination and inverses use :class:`fractions.Fraction`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+IntMatrix = tuple[tuple[int, ...], ...]
+FracMatrix = tuple[tuple[Fraction, ...], ...]
+
+
+def _check_rectangular(matrix: Sequence[Sequence[int]]) -> tuple[int, int]:
+    """Return (rows, cols) of a rectangular matrix, raising otherwise."""
+    if not matrix:
+        return (0, 0)
+    cols = len(matrix[0])
+    for row in matrix:
+        if len(row) != cols:
+            raise ValueError("matrix rows have inconsistent lengths")
+    return (len(matrix), cols)
+
+
+def copy_matrix(matrix: Sequence[Sequence[int]]) -> IntMatrix:
+    """Deep-copy a matrix into the canonical tuple-of-tuples form."""
+    _check_rectangular(matrix)
+    return tuple(tuple(int(x) for x in row) for row in matrix)
+
+
+def identity_matrix(size: int) -> IntMatrix:
+    """The ``size`` x ``size`` identity matrix."""
+    return tuple(
+        tuple(1 if i == j else 0 for j in range(size)) for i in range(size)
+    )
+
+
+def mat_equal(left: Sequence[Sequence[int]], right: Sequence[Sequence[int]]) -> bool:
+    """Exact equality of two matrices (shape and entries)."""
+    return copy_matrix(left) == copy_matrix(right)
+
+
+def mat_transpose(matrix: Sequence[Sequence[int]]) -> IntMatrix:
+    """Transpose of a rectangular matrix."""
+    rows, cols = _check_rectangular(matrix)
+    if rows == 0:
+        return ()
+    return tuple(tuple(matrix[r][c] for r in range(rows)) for c in range(cols))
+
+
+def mat_mul(
+    left: Sequence[Sequence[int]], right: Sequence[Sequence[int]]
+) -> IntMatrix:
+    """Matrix product ``left @ right`` over the integers.
+
+    Raises:
+        ValueError: on inner-dimension mismatch.
+    """
+    lrows, lcols = _check_rectangular(left)
+    rrows, rcols = _check_rectangular(right)
+    if lcols != rrows:
+        raise ValueError(f"matmul dimension mismatch: {lcols} vs {rrows}")
+    return tuple(
+        tuple(
+            sum(left[i][k] * right[k][j] for k in range(lcols))
+            for j in range(rcols)
+        )
+        for i in range(lrows)
+    )
+
+
+def mat_vec(matrix: Sequence[Sequence[int]], vector: Sequence[int]) -> tuple[int, ...]:
+    """Matrix-vector product, treating ``vector`` as a column."""
+    rows, cols = _check_rectangular(matrix)
+    if cols != len(vector):
+        raise ValueError(f"mat_vec dimension mismatch: {cols} vs {len(vector)}")
+    return tuple(
+        sum(matrix[i][k] * vector[k] for k in range(cols)) for i in range(rows)
+    )
+
+
+def determinant(matrix: Sequence[Sequence[int]]) -> int:
+    """Exact determinant of a square integer matrix (Bareiss algorithm).
+
+    Bareiss elimination is fraction-free: every intermediate value is an
+    integer, which avoids both float error and Fraction overhead.
+    """
+    rows, cols = _check_rectangular(matrix)
+    if rows != cols:
+        raise ValueError("determinant of a non-square matrix")
+    if rows == 0:
+        return 1
+    work = [list(row) for row in matrix]
+    sign = 1
+    previous_pivot = 1
+    for k in range(rows - 1):
+        if work[k][k] == 0:
+            # Find a row below with a nonzero pivot and swap.
+            for swap in range(k + 1, rows):
+                if work[swap][k] != 0:
+                    work[k], work[swap] = work[swap], work[k]
+                    sign = -sign
+                    break
+            else:
+                return 0
+        for i in range(k + 1, rows):
+            for j in range(k + 1, rows):
+                work[i][j] = (
+                    work[i][j] * work[k][k] - work[i][k] * work[k][j]
+                ) // previous_pivot
+            work[i][k] = 0
+        previous_pivot = work[k][k]
+    return sign * work[rows - 1][rows - 1]
+
+
+def rank(matrix: Sequence[Sequence[int]]) -> int:
+    """Rank of a rectangular integer matrix via exact Gauss elimination."""
+    rows, cols = _check_rectangular(matrix)
+    if rows == 0 or cols == 0:
+        return 0
+    work = [[Fraction(x) for x in row] for row in matrix]
+    current_rank = 0
+    for col in range(cols):
+        pivot_row = None
+        for r in range(current_rank, rows):
+            if work[r][col] != 0:
+                pivot_row = r
+                break
+        if pivot_row is None:
+            continue
+        work[current_rank], work[pivot_row] = work[pivot_row], work[current_rank]
+        pivot = work[current_rank][col]
+        for r in range(rows):
+            if r != current_rank and work[r][col] != 0:
+                factor = work[r][col] / pivot
+                for c in range(col, cols):
+                    work[r][c] -= factor * work[current_rank][c]
+        current_rank += 1
+        if current_rank == rows:
+            break
+    return current_rank
+
+
+def inverse_rational(matrix: Sequence[Sequence[int]]) -> FracMatrix:
+    """Exact inverse of a square integer matrix as a Fraction matrix.
+
+    Raises:
+        ValueError: if the matrix is singular or non-square.
+    """
+    rows, cols = _check_rectangular(matrix)
+    if rows != cols:
+        raise ValueError("inverse of a non-square matrix")
+    size = rows
+    work = [
+        [Fraction(matrix[i][j]) for j in range(size)]
+        + [Fraction(1 if i == j else 0) for j in range(size)]
+        for i in range(size)
+    ]
+    for col in range(size):
+        pivot_row = None
+        for r in range(col, size):
+            if work[r][col] != 0:
+                pivot_row = r
+                break
+        if pivot_row is None:
+            raise ValueError("matrix is singular")
+        work[col], work[pivot_row] = work[pivot_row], work[col]
+        pivot = work[col][col]
+        work[col] = [entry / pivot for entry in work[col]]
+        for r in range(size):
+            if r != col and work[r][col] != 0:
+                factor = work[r][col]
+                work[r] = [
+                    entry - factor * pivot_entry
+                    for entry, pivot_entry in zip(work[r], work[col])
+                ]
+    return tuple(tuple(work[i][size:]) for i in range(size))
+
+
+def inverse_integer(matrix: Sequence[Sequence[int]]) -> IntMatrix:
+    """Inverse of a unimodular matrix, returned with integer entries.
+
+    Raises:
+        ValueError: if the matrix is singular, or if its inverse is not
+            integral (i.e. the matrix is not unimodular).
+    """
+    fractional = inverse_rational(matrix)
+    result = []
+    for row in fractional:
+        int_row = []
+        for entry in row:
+            if entry.denominator != 1:
+                raise ValueError("matrix is not unimodular; inverse is not integral")
+            int_row.append(int(entry))
+        result.append(tuple(int_row))
+    return tuple(result)
+
+
+def is_unimodular(matrix: Sequence[Sequence[int]]) -> bool:
+    """True if the matrix is square with determinant +1 or -1."""
+    rows, cols = _check_rectangular(matrix)
+    if rows != cols:
+        return False
+    return determinant(matrix) in (1, -1)

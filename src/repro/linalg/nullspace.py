@@ -1,0 +1,103 @@
+"""Integer null-space bases.
+
+The central computation of Section 2 of the paper: a hyperplane vector
+``y`` gives spatial locality for a reference whose successive-iteration
+access difference is ``delta`` iff ``y . delta = 0`` -- i.e. ``y`` lies
+in the *left null space* of the column vector ``delta``.  For a
+``k``-dimensional array the full layout is an ordered basis of that
+null space (``k - 1`` rows when ``delta`` is nonzero).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.linalg.matrices import mat_transpose, _check_rectangular
+from repro.linalg.vectors import canonical_hyperplane_vector, gcd_many
+
+IntMatrix = tuple[tuple[int, ...], ...]
+
+
+def nullspace_basis(matrix: Sequence[Sequence[int]]) -> list[tuple[int, ...]]:
+    """Basis of ``{x : matrix @ x = 0}`` as primitive integer vectors.
+
+    The basis is computed by exact Gauss-Jordan elimination over the
+    rationals and each basis vector is scaled to a primitive integer
+    vector with lex-positive leading entry (the canonical hyperplane
+    form), so the result is deterministic for a given input.
+
+    Returns:
+        A list of ``cols - rank`` canonical integer vectors; empty when
+        the matrix has full column rank.
+    """
+    rows, cols = _check_rectangular(matrix)
+    if cols == 0:
+        return []
+    if rows == 0:
+        # Everything is in the null space: return the standard basis.
+        basis = []
+        for i in range(cols):
+            unit = [0] * cols
+            unit[i] = 1
+            basis.append(tuple(unit))
+        return basis
+
+    work = [[Fraction(x) for x in row] for row in matrix]
+    pivot_cols: list[int] = []
+    current_row = 0
+    for col in range(cols):
+        pivot_row = None
+        for r in range(current_row, rows):
+            if work[r][col] != 0:
+                pivot_row = r
+                break
+        if pivot_row is None:
+            continue
+        work[current_row], work[pivot_row] = work[pivot_row], work[current_row]
+        pivot = work[current_row][col]
+        work[current_row] = [entry / pivot for entry in work[current_row]]
+        for r in range(rows):
+            if r != current_row and work[r][col] != 0:
+                factor = work[r][col]
+                work[r] = [
+                    entry - factor * pivot_entry
+                    for entry, pivot_entry in zip(work[r], work[current_row])
+                ]
+        pivot_cols.append(col)
+        current_row += 1
+        if current_row == rows:
+            break
+
+    free_cols = [c for c in range(cols) if c not in pivot_cols]
+    basis: list[tuple[int, ...]] = []
+    for free in free_cols:
+        vector = [Fraction(0)] * cols
+        vector[free] = Fraction(1)
+        for pivot_index, pivot_col in enumerate(pivot_cols):
+            vector[pivot_col] = -work[pivot_index][free]
+        # Clear denominators to get an integer vector.
+        denominator_lcm = 1
+        for entry in vector:
+            denominator_lcm = _lcm(denominator_lcm, entry.denominator)
+        int_vector = [int(entry * denominator_lcm) for entry in vector]
+        basis.append(canonical_hyperplane_vector(int_vector))
+    return basis
+
+
+def left_nullspace_basis(matrix: Sequence[Sequence[int]]) -> list[tuple[int, ...]]:
+    """Basis of ``{y : y @ matrix = 0}`` as primitive integer row vectors.
+
+    This is the layout-solving primitive: for an access-difference
+    column ``delta`` packed as an ``k x 1`` matrix, the returned rows
+    are exactly the hyperplane vectors under which successive iterations
+    touch the same hyperplane.
+    """
+    return nullspace_basis(mat_transpose(matrix))
+
+
+def _lcm(a: int, b: int) -> int:
+    """Least common multiple of two positive integers."""
+    if a == 0 or b == 0:
+        return 0
+    return a * b // gcd_many((a, b))

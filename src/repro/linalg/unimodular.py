@@ -1,0 +1,152 @@
+"""Hermite normal form and completion of row sets to nonsingular matrices.
+
+A layout for a ``k``-dimensional array is an *ordered* set of ``k - 1``
+hyperplane rows (Section 2).  To actually remap storage we must extend
+those rows with one more row so the resulting ``k x k`` data
+transformation matrix is nonsingular; the transformed array is then
+stored row-major in the transformed index space.  The completion is the
+job of :func:`complete_to_nonsingular` / :func:`complete_to_unimodular`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.linalg.matrices import (
+    IntMatrix,
+    _check_rectangular,
+    determinant,
+    rank,
+)
+
+
+def hermite_normal_form(matrix: Sequence[Sequence[int]]) -> IntMatrix:
+    """Row-style Hermite normal form of an integer matrix.
+
+    Returns an upper-triangular-ish matrix ``H`` row-equivalent to the
+    input over the integers (i.e. ``H = U @ matrix`` with ``U``
+    unimodular), with non-negative pivots and entries above each pivot
+    reduced modulo the pivot.  Zero rows sink to the bottom.
+    """
+    rows, cols = _check_rectangular(matrix)
+    work = [list(row) for row in matrix]
+    pivot_row = 0
+    for col in range(cols):
+        if pivot_row >= rows:
+            break
+        # Euclidean elimination in this column below pivot_row.
+        while True:
+            nonzero = [
+                r for r in range(pivot_row, rows) if work[r][col] != 0
+            ]
+            if not nonzero:
+                break
+            # Bring the row with smallest |value| to the pivot position.
+            best = min(nonzero, key=lambda r: abs(work[r][col]))
+            work[pivot_row], work[best] = work[best], work[pivot_row]
+            pivot_value = work[pivot_row][col]
+            done = True
+            for r in range(pivot_row + 1, rows):
+                if work[r][col] != 0:
+                    quotient = work[r][col] // pivot_value
+                    for c in range(cols):
+                        work[r][c] -= quotient * work[pivot_row][c]
+                    if work[r][col] != 0:
+                        done = False
+            if done:
+                break
+        if work[pivot_row][col] != 0:
+            if work[pivot_row][col] < 0:
+                work[pivot_row] = [-x for x in work[pivot_row]]
+            pivot_value = work[pivot_row][col]
+            # Reduce the entries above the pivot into [0, pivot).
+            for r in range(pivot_row):
+                quotient = work[r][col] // pivot_value
+                if quotient:
+                    for c in range(cols):
+                        work[r][c] -= quotient * work[pivot_row][c]
+            pivot_row += 1
+    return tuple(tuple(row) for row in work)
+
+
+def complete_to_nonsingular(rows_in: Sequence[Sequence[int]], size: int) -> IntMatrix:
+    """Extend independent integer rows to a nonsingular ``size x size`` matrix.
+
+    The given rows are kept verbatim (and first, in order); standard
+    basis rows are appended greedily whenever they increase the rank.
+    The result is deterministic.
+
+    Raises:
+        ValueError: if the given rows are not linearly independent or a
+            row has the wrong length.
+    """
+    rows_list = [tuple(int(x) for x in row) for row in rows_in]
+    for row in rows_list:
+        if len(row) != size:
+            raise ValueError(f"row length {len(row)} does not match size {size}")
+    if rows_list and rank(rows_list) != len(rows_list):
+        raise ValueError("given rows are linearly dependent")
+    completed = list(rows_list)
+    for axis in range(size):
+        if len(completed) == size:
+            break
+        unit = tuple(1 if j == axis else 0 for j in range(size))
+        candidate = completed + [unit]
+        if rank(candidate) == len(candidate):
+            completed.append(unit)
+    if len(completed) != size:
+        raise ValueError("failed to complete rows to a nonsingular matrix")
+    return tuple(completed)
+
+
+def _candidate_rows(size: int, max_abs: int) -> list[tuple[int, ...]]:
+    """All integer rows with entries in [-max_abs, max_abs], sorted by
+    L1 norm (then lexicographically) -- small rows first, because the
+    completion row's magnitude directly drives the transformed
+    bounding-box inflation."""
+    from itertools import product
+
+    rows = [
+        row
+        for row in product(range(-max_abs, max_abs + 1), repeat=size)
+        if any(row)
+    ]
+    rows.sort(key=lambda row: (sum(abs(x) for x in row), row))
+    return rows
+
+
+def complete_to_unimodular(rows_in: Sequence[Sequence[int]], size: int) -> IntMatrix:
+    """Extend *primitive* independent rows to a unimodular matrix.
+
+    The completion row is chosen with the **smallest L1 norm** giving
+    determinant ±1, so the induced data transformation inflates the
+    transformed bounding box as little as possible (e.g. the (1 -2)
+    hyperplane completes with (0 1), not some larger row).  Falls back
+    to the plain nonsingular completion when no unimodular completion
+    exists within the search window (still a valid data transformation;
+    it merely inflates the box, as footnote 2 of the paper notes for
+    non-primitive vectors).
+
+    Raises:
+        ValueError: if the given rows are dependent or mis-sized.
+    """
+    rows_list = [tuple(int(x) for x in row) for row in rows_in]
+    base = complete_to_nonsingular(rows_list, size)
+    if determinant(base) in (1, -1):
+        return base
+    missing = size - len(rows_list)
+    if missing == 0:
+        return base
+    if missing == 1:
+        prefix = list(rows_list)
+        for candidate in _candidate_rows(size, max_abs=3):
+            trial = tuple(prefix + [candidate])
+            if determinant(trial) in (1, -1):
+                return trial
+        return base
+    # More than one missing row (not produced by layouts, which always
+    # have exactly size-1 rows): complete all but the last greedily,
+    # then fix the determinant with the last row.
+    partial = complete_to_nonsingular(rows_list, size)[: size - 1]
+    return complete_to_unimodular(partial, size)

@@ -1,0 +1,41 @@
+"""End-to-end memory layout optimization.
+
+Ties the substrates together: build the constraint network from a
+program (Section 3), solve it with the base or enhanced scheme
+(Section 4), fall back to weighted branch & bound when the hard network
+is unsatisfiable, and pick per-nest loop restructurings consistent with
+the chosen layouts for the execution-time evaluation (Section 5).
+
+Also contains the prior-work heuristic [9] used as the comparison
+baseline and the dynamic-layout planner (the paper's second future-work
+direction).
+"""
+
+from repro.opt.network_builder import (
+    BuildOptions,
+    LayoutNetwork,
+    build_layout_network,
+)
+from repro.opt.optimizer import (
+    LayoutOptimizer,
+    OptimizationOutcome,
+    select_transforms,
+    repair_inflation,
+)
+from repro.opt.heuristic import HeuristicOptimizer
+from repro.opt.dynamic import DynamicLayoutPlanner, DynamicPlan
+from repro.opt.report import format_table
+
+__all__ = [
+    "BuildOptions",
+    "LayoutNetwork",
+    "build_layout_network",
+    "LayoutOptimizer",
+    "OptimizationOutcome",
+    "select_transforms",
+    "repair_inflation",
+    "HeuristicOptimizer",
+    "DynamicLayoutPlanner",
+    "DynamicPlan",
+    "format_table",
+]

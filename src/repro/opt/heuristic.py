@@ -1,0 +1,125 @@
+"""The prior-work heuristic baseline [9] (Leung & Zahorjan style).
+
+Summarized in the paper's Section 5: order the loop nests by an
+importance criterion; process them most-important-first; for each nest
+pick a good (loop transformation, memory layouts) combination; then
+propagate the already-fixed layouts forward, so later (cheaper) nests
+only choose layouts for arrays not yet fixed.  "This approach tends to
+give priority to satisfying the layout requirements of costly nests."
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.ir.program import Program
+from repro.layout.candidates import LayoutCombo, nest_layout_combos
+from repro.layout.layout import Layout, row_major
+from repro.transform.unimodular_loop import LoopTransform
+from repro.transform.catalog import legal_transforms
+
+
+@dataclass
+class HeuristicOutcome:
+    """Result of the propagation heuristic.
+
+    Attributes:
+        program: the program name.
+        layouts: one layout per declared array.
+        transforms: the per-nest restructuring the heuristic selected.
+        solve_seconds: wall-clock decision time.
+        nest_order: the importance order used.
+    """
+
+    program: str
+    layouts: dict[str, Layout]
+    transforms: dict[str, str]
+    solve_seconds: float
+    nest_order: tuple[str, ...]
+
+
+class HeuristicOptimizer:
+    """Greedy nest-ordered layout propagation.
+
+    Args:
+        include_reversals: widen the per-nest transform catalog.
+        skew_factors: innermost skew factors for the catalog.
+    """
+
+    name = "heuristic"
+
+    def __init__(
+        self,
+        include_reversals: bool = False,
+        skew_factors: tuple[int, ...] = (),
+    ):
+        self._include_reversals = include_reversals
+        self._skew_factors = skew_factors
+
+    def optimize(self, program: Program) -> HeuristicOutcome:
+        """Run the heuristic on a program."""
+        start = time.perf_counter()
+        ordered = sorted(
+            program.nests, key=lambda nest: -nest.estimated_cost
+        )
+        fixed: dict[str, Layout] = {}
+        transforms: dict[str, str] = {}
+        for nest in ordered:
+            combos = nest_layout_combos(
+                program,
+                nest,
+                include_reversals=self._include_reversals,
+                skew_factors=self._skew_factors,
+            )
+            combo = self._pick_combo(combos, fixed)
+            if combo is None:
+                transforms[nest.name] = "identity"
+                continue
+            transforms[nest.name] = combo.transform
+            for array, layout in combo.assignments:
+                if array not in fixed:
+                    fixed[array] = layout
+        layouts = {
+            decl.name: fixed.get(decl.name, row_major(decl.rank))
+            for decl in program.arrays
+        }
+        elapsed = time.perf_counter() - start
+        return HeuristicOutcome(
+            program=program.name,
+            layouts=layouts,
+            transforms=transforms,
+            solve_seconds=elapsed,
+            nest_order=tuple(nest.name for nest in ordered),
+        )
+
+    @staticmethod
+    def _pick_combo(
+        combos: list[LayoutCombo], fixed: dict[str, Layout]
+    ) -> LayoutCombo | None:
+        """The combo agreeing most with already-fixed layouts.
+
+        Score = number of fixed arrays whose combo layout matches minus
+        the number that disagree.  Ties keep the *earliest* combo,
+        i.e. the least-restructured one (the catalog lists the identity
+        first) -- mirroring [9], which only restructures a nest when
+        locality demands it.
+        """
+        if not combos:
+            return None
+        best: LayoutCombo | None = None
+        best_score: int | None = None
+        for combo in combos:
+            agreements = 0
+            disagreements = 0
+            for array, layout in combo.assignments:
+                if array in fixed:
+                    if fixed[array] == layout:
+                        agreements += 1
+                    else:
+                        disagreements += 1
+            score = agreements - disagreements
+            if best_score is None or score > best_score:
+                best = combo
+                best_score = score
+        return best

@@ -1,0 +1,251 @@
+"""The layout optimizer façade.
+
+``LayoutOptimizer`` runs the whole pipeline of the paper: build the
+network, solve it with the chosen scheme, and return one layout per
+array.  When the hard network is unsatisfiable (possible: different
+nests may want irreconcilable layouts) the optimizer falls back to the
+weighted branch & bound of :mod:`repro.csp.weighted`, which returns the
+assignment violating the least total nest cost -- the graceful version
+of "no solution exists".
+
+:func:`select_transforms` then picks, per nest, the legal restructuring
+best matched to the *final* layouts; this mirrors how the evaluated
+binaries of Table 3 combine data transformations with (legal, purely
+local) loop restructurings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.csp.backjumping import ConflictDirectedSolver
+from repro.csp.backtracking import BacktrackingSolver
+from repro.csp.enhanced import EnhancedSolver, EnhancementConfig
+from repro.csp.forward_checking import ForwardCheckingSolver
+from repro.csp.minconflicts import MinConflictsSolver
+from repro.csp.stats import SolverStats
+from repro.csp.weighted import BranchAndBoundSolver
+from repro.ir.program import Program
+from repro.layout.candidates import nest_layout_combos
+from repro.layout.layout import Layout, row_major
+from repro.layout.locality import access_delta, has_spatial_locality, has_temporal_locality
+from repro.opt.network_builder import BuildOptions, LayoutNetwork, build_layout_network
+from repro.transform.catalog import legal_transforms
+from repro.transform.unimodular_loop import LoopTransform
+
+#: Scheme name -> solver factory (seed -> solver).
+_SCHEMES = {
+    "base": lambda seed: BacktrackingSolver(seed=seed),
+    "enhanced": lambda seed: EnhancedSolver(seed=seed),
+    "cbj": lambda seed: ConflictDirectedSolver(seed=seed),
+    "forward-checking": lambda seed: ForwardCheckingSolver(seed=seed),
+    "min-conflicts": lambda seed: MinConflictsSolver(seed=seed),
+}
+
+
+@dataclass
+class OptimizationOutcome:
+    """Result of a layout optimization run.
+
+    Attributes:
+        program: the optimized program's name.
+        scheme: the solver scheme used.
+        layouts: one layout per declared array.
+        stats: solver effort counters.
+        solve_seconds: end-to-end time (network build + solve).
+        network: the constraint network with provenance.
+        exact: True when the layouts satisfy every constraint; False
+            when the weighted fallback produced a best-effort result.
+    """
+
+    program: str
+    scheme: str
+    layouts: dict[str, Layout]
+    stats: SolverStats
+    solve_seconds: float
+    network: LayoutNetwork
+    exact: bool
+
+
+class LayoutOptimizer:
+    """Front door of the library: programs in, layouts out.
+
+    Args:
+        scheme: "base", "enhanced", "cbj", "forward-checking",
+            "min-conflicts", or an :class:`EnhancementConfig` for
+            per-enhancement ablation runs.
+        seed: RNG seed for the randomized schemes.
+        options: network construction options.
+
+    Raises:
+        ValueError: for an unknown scheme name.
+    """
+
+    def __init__(
+        self,
+        scheme: str | EnhancementConfig = "enhanced",
+        seed: int = 0,
+        options: BuildOptions | None = None,
+    ):
+        if isinstance(scheme, EnhancementConfig):
+            self._scheme_name = scheme.label()
+            self._solver = EnhancedSolver(scheme, seed=seed)
+        else:
+            if scheme not in _SCHEMES:
+                raise ValueError(
+                    f"unknown scheme {scheme!r}; pick one of {sorted(_SCHEMES)}"
+                )
+            self._scheme_name = scheme
+            self._solver = _SCHEMES[scheme](seed)
+        self._options = options if options is not None else BuildOptions()
+
+    def optimize(self, program: Program) -> OptimizationOutcome:
+        """Choose one memory layout for every array of the program."""
+        start = time.perf_counter()
+        layout_network = build_layout_network(program, self._options)
+        result = self._solver.solve(layout_network.network)
+        exact = result.assignment is not None
+        if exact:
+            assignment = dict(result.assignment)
+            stats = result.stats
+        else:
+            weighted_result = BranchAndBoundSolver().solve(layout_network.weighted())
+            assignment = dict(weighted_result.assignment)
+            stats = weighted_result.stats
+            exact = weighted_result.fully_satisfied
+        if exact:
+            repair_inflation(layout_network.network, assignment, program)
+        elapsed = time.perf_counter() - start
+
+        layouts: dict[str, Layout] = {}
+        for decl in program.arrays:
+            chosen = assignment.get(decl.name)
+            layouts[decl.name] = (
+                chosen if chosen is not None else row_major(decl.rank)
+            )
+        return OptimizationOutcome(
+            program=program.name,
+            scheme=self._scheme_name,
+            layouts=layouts,
+            stats=stats,
+            solve_seconds=elapsed,
+            network=layout_network,
+            exact=exact,
+        )
+
+
+def repair_inflation(network, assignment: dict, program: Program) -> None:
+    """Swap each array to the best equivalent value among solutions.
+
+    Constraint networks routinely admit several solutions (the paper
+    observes base and enhanced finding different ones), and the solver
+    has no reason to prefer the execution-friendly one.  This pass
+    greedily replaces each array's layout with a domain value that is
+    better on the lexicographic objective
+
+    1. lower bounding-box inflation (footnote 2's data-space growth),
+    2. more references with locality under the original loop order,
+
+    whenever the swap keeps the assignment a solution -- it never
+    leaves the solution set, so exactness is preserved.
+    """
+    from repro.layout.locality import (
+        access_delta,
+        has_spatial_locality,
+        has_temporal_locality,
+    )
+    from repro.layout.mapping import LayoutMapping
+
+    def objective(array: str, layout: Layout) -> tuple[float, int]:
+        inflation = LayoutMapping.create(program.array(array), layout).inflation
+        locality = 0
+        for nest in program.nests_referencing(array):
+            direction = tuple([0] * (nest.depth - 1) + [1])
+            order = nest.index_order
+            for reference in nest.references_to(array):
+                delta = access_delta(reference, order, direction)
+                if has_temporal_locality(delta) or has_spatial_locality(
+                    layout, delta
+                ):
+                    locality += nest.weight
+        return (inflation, -locality)
+
+    # Iterate to a fixpoint: improving one array can unlock a better
+    # swap for a neighbor (bounded: each pass strictly improves the
+    # global objective or stops).
+    for _ in range(len(network.variables)):
+        changed = False
+        for array in network.variables:
+            current = assignment[array]
+            best = current
+            best_key = objective(array, current)
+            for candidate in network.domain(array):
+                if candidate == current:
+                    continue
+                key = objective(array, candidate)
+                if key >= best_key:
+                    continue
+                consistent = all(
+                    network.check_pair(
+                        array, candidate, neighbor, assignment[neighbor]
+                    )
+                    for neighbor in network.neighbors(array)
+                )
+                if consistent:
+                    best = candidate
+                    best_key = key
+            if best != current:
+                assignment[array] = best
+                changed = True
+        if not changed:
+            break
+
+
+def select_transforms(
+    program: Program,
+    layouts: Mapping[str, Layout],
+    include_reversals: bool = False,
+    skew_factors: tuple[int, ...] = (),
+) -> dict[str, LoopTransform]:
+    """Per nest, the legal restructuring best matched to final layouts.
+
+    The score of a transform weighs references by the memory cost their
+    locality class avoids: a reference with *no* locality pays roughly
+    a full cache-miss per iteration, so it is worth far more to fix one
+    such reference than to upgrade spatial locality (one miss per line,
+    ~1/8 of the accesses) to temporal (same element every iteration).
+    Ties prefer the identity (no restructuring without benefit).
+    """
+    chosen: dict[str, LoopTransform] = {}
+    for nest in program.nests:
+        order = nest.index_order
+        best: LoopTransform | None = None
+        best_score = -1
+        for transform in legal_transforms(
+            nest, include_reversals, skew_factors
+        ):
+            direction = transform.innermost_direction()
+            score = 0
+            for reference in nest.body:
+                layout = layouts.get(reference.array)
+                if layout is None:
+                    continue
+                delta = access_delta(reference, order, direction)
+                if has_temporal_locality(delta):
+                    score += 7
+                elif has_spatial_locality(layout, delta):
+                    score += 6
+            better = score > best_score or (
+                score == best_score
+                and best is not None
+                and transform.is_identity
+                and not best.is_identity
+            )
+            if better:
+                best = transform
+                best_score = score
+        assert best is not None  # identity is always legal
+        chosen[nest.name] = best
+    return chosen

@@ -1,0 +1,66 @@
+"""Plain-text table formatting for benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a left-aligned text table (numbers right-aligned).
+
+    >>> print(format_table(["a", "b"], [[1, "x"]]))
+    a  b
+    -  -
+    1  x
+    """
+    cells = [[str(h) for h in headers]] + [
+        [_render(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(row[column]) for row in cells)
+        for column in range(len(headers))
+    ]
+    numeric = [
+        all(
+            _is_number(row[column])
+            for row in cells[1:]
+        )
+        if len(cells) > 1
+        else False
+        for column in range(len(headers))
+    ]
+
+    def render_row(row: Sequence[str]) -> str:
+        parts = []
+        for column, text in enumerate(row):
+            if numeric[column]:
+                parts.append(text.rjust(widths[column]))
+            else:
+                parts.append(text.ljust(widths[column]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(cells[0]))
+    lines.append(render_row(["-" * width for width in widths]))
+    lines.extend(render_row(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text.rstrip("%x"))
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,20 @@
+"""Program execution simulation: layouts -> addresses -> cycles.
+
+Bridges the IR and the cache simulator: assigns base addresses to the
+arrays under their chosen layouts, walks every nest's iteration space
+(optionally in a restructured order), converts each reference to a byte
+address via the layout's linear map, and feeds the resulting stream
+through the modelled hierarchy and CPU.
+"""
+
+from repro.simul.addressmap import AddressMap
+from repro.simul.tracegen import compile_nest_accesses, NestAccessPlan
+from repro.simul.executor import simulate_program, SimulationResult
+
+__all__ = [
+    "AddressMap",
+    "compile_nest_accesses",
+    "NestAccessPlan",
+    "simulate_program",
+    "SimulationResult",
+]

@@ -1,0 +1,109 @@
+"""Compilation of references to linear address functions.
+
+Under a layout with completed transformation ``T``, strides ``s`` and
+box lows ``low``, the byte address of reference ``A I + b`` is
+
+``base + esize * ( s . (T (A I + b)) - s . low )``
+
+which is *linear in the iteration vector*: one dot product per access
+at simulation time.  :func:`compile_nest_accesses` precomputes the
+coefficient row and constant for every reference of a nest so the
+executor's hot loop does no matrix math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.ir.loops import LoopNest
+from repro.simul.addressmap import AddressMap
+
+
+@dataclass(frozen=True)
+class CompiledAccess:
+    """One reference as a linear byte-address function of the iteration.
+
+    ``address(I) = coeffs . I + const``.
+    """
+
+    array: str
+    coeffs: tuple[int, ...]
+    const: int
+    size: int
+    is_write: bool
+
+    def address_at(self, iteration: tuple[int, ...]) -> int:
+        """Evaluate the address function at one iteration point."""
+        return self.const + sum(
+            coefficient * value
+            for coefficient, value in zip(self.coeffs, iteration)
+        )
+
+
+@dataclass(frozen=True)
+class NestAccessPlan:
+    """Everything the executor needs for one nest.
+
+    Attributes:
+        nest: the nest being simulated.
+        accesses: compiled references in body order.
+        code_base: synthetic base address of the nest's machine code
+            (distinct per nest so the I-cache sees realistic locality).
+        ops_per_iteration: non-memory instructions per innermost
+            iteration (loop overhead + per-reference arithmetic).
+    """
+
+    nest: LoopNest
+    accesses: tuple[CompiledAccess, ...]
+    code_base: int
+    ops_per_iteration: int
+
+
+def compile_nest_accesses(
+    nest: LoopNest,
+    address_map: AddressMap,
+    code_base: int,
+    ops_per_reference: int = 4,
+    loop_overhead_ops: int = 3,
+) -> NestAccessPlan:
+    """Precompute the linear address function of every reference.
+
+    The composition ``s . (T (A I + b))`` is folded into a coefficient
+    row over the nest's index order plus a constant that also absorbs
+    the array base address.
+    """
+    order = nest.index_order
+    compiled: list[CompiledAccess] = []
+    for reference in nest.body:
+        mapping = address_map.mapping_of(reference.array)
+        element_size = mapping.decl.element_size
+        transform = mapping.transform
+        strides = mapping.strides
+        lows = mapping.lows
+        access = reference.access_matrix(order)
+        offset = reference.offset_vector()
+        rank = mapping.decl.rank
+        depth = len(order)
+        # weight_row[j] = sum_t strides[t] * transform[t][j]
+        weight_row = [
+            sum(strides[t] * transform[t][j] for t in range(rank))
+            for j in range(rank)
+        ]
+        # coeffs[i] = esize * sum_j weight_row[j] * access[j][i]
+        coeffs = tuple(
+            element_size
+            * sum(weight_row[j] * access[j][i] for j in range(rank))
+            for i in range(depth)
+        )
+        const = address_map.base_of(reference.array) + element_size * (
+            sum(weight_row[j] * offset[j] for j in range(rank))
+            - sum(strides[t] * lows[t] for t in range(rank))
+        )
+        compiled.append(
+            CompiledAccess(
+                reference.array, coeffs, const, element_size, reference.is_write
+            )
+        )
+    ops = loop_overhead_ops + ops_per_reference * len(nest.body)
+    return NestAccessPlan(nest, tuple(compiled), code_base, ops)

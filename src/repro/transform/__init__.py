@@ -1,0 +1,43 @@
+"""Unimodular loop transformations.
+
+The constraint pairs of Section 3 each correspond to "the best layout
+choice under a given loop restructuring", so building the network
+requires enumerating candidate restructurings per nest and checking
+their legality against data dependences.  The heuristic baseline of [9]
+also picks a (transform, layouts) combination per nest.
+
+* :mod:`repro.transform.unimodular_loop` -- transform objects
+  (permutations, reversals, skews) with cached inverses.
+* :mod:`repro.transform.legality` -- dependence-based legality.
+* :mod:`repro.transform.catalog` -- candidate enumeration per nest.
+* :mod:`repro.transform.scanning` -- Fourier-Motzkin based scanning of
+  a transformed iteration space in its new execution order (used by the
+  trace generator when a nest is restructured).
+"""
+
+from repro.transform.unimodular_loop import (
+    LoopTransform,
+    identity_transform,
+    permutation_transform,
+    reversal_transform,
+    skew_transform,
+    compose,
+)
+from repro.transform.legality import is_legal, transformed_distances
+from repro.transform.catalog import candidate_transforms, legal_transforms
+from repro.transform.scanning import scan_transformed_box, fourier_motzkin_bounds
+
+__all__ = [
+    "LoopTransform",
+    "identity_transform",
+    "permutation_transform",
+    "reversal_transform",
+    "skew_transform",
+    "compose",
+    "is_legal",
+    "transformed_distances",
+    "candidate_transforms",
+    "legal_transforms",
+    "scan_transformed_box",
+    "fourier_motzkin_bounds",
+]

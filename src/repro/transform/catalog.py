@@ -1,0 +1,86 @@
+"""Candidate transform enumeration per nest.
+
+The constraint network needs one "best layout combination" per
+candidate loop restructuring (Section 3), so the catalog determines the
+size of every constraint.  The default catalog contains all loop
+permutations, optionally composed with a reversal of the new innermost
+loop, and optionally small skews of the innermost loop -- a superset of
+the interchange example the paper walks through for Figure 2.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterator
+
+from repro.ir.dependence import analyze_nest_dependences
+from repro.ir.loops import LoopNest
+from repro.transform.legality import is_legal
+from repro.transform.unimodular_loop import (
+    LoopTransform,
+    compose,
+    permutation_transform,
+    reversal_transform,
+    skew_transform,
+)
+
+
+def candidate_transforms(
+    depth: int,
+    include_reversals: bool = False,
+    skew_factors: tuple[int, ...] = (),
+) -> list[LoopTransform]:
+    """All catalog transforms for a nest depth, identity first.
+
+    Args:
+        depth: nesting depth.
+        include_reversals: also compose each permutation with a
+            reversal of the new innermost loop.
+        skew_factors: for each factor ``f``, include a skew of the
+            innermost loop by ``f`` times the outermost loop (only for
+            depth >= 2).
+    """
+    result: list[LoopTransform] = []
+    seen: set[tuple[tuple[int, ...], ...]] = set()
+
+    def push(transform: LoopTransform) -> None:
+        if transform.matrix not in seen:
+            seen.add(transform.matrix)
+            result.append(transform)
+
+    for order in permutations(range(depth)):
+        push(permutation_transform(order))
+    if include_reversals:
+        for order in permutations(range(depth)):
+            base = permutation_transform(order)
+            push(compose(reversal_transform(depth, depth - 1), base))
+    if depth >= 2:
+        # Skew the outermost loop by the innermost one: this changes the
+        # old-space step of the new innermost loop (last column of
+        # (S P)^-1), producing genuinely new access deltas.  Skewing the
+        # innermost loop instead would leave that step unchanged.
+        for factor in skew_factors:
+            if not factor:
+                continue
+            skew = skew_transform(depth, 0, depth - 1, factor)
+            for order in permutations(range(depth)):
+                push(compose(skew, permutation_transform(order)))
+    # Keep identity first for deterministic downstream ordering.
+    result.sort(key=lambda t: (not t.is_identity,))
+    return result
+
+
+def legal_transforms(
+    nest: LoopNest,
+    include_reversals: bool = False,
+    skew_factors: tuple[int, ...] = (),
+) -> list[LoopTransform]:
+    """The catalog filtered by dependence legality for one nest."""
+    info = analyze_nest_dependences(nest)
+    return [
+        transform
+        for transform in candidate_transforms(
+            nest.depth, include_reversals, skew_factors
+        )
+        if is_legal(info, transform)
+    ]

@@ -1,0 +1,65 @@
+"""Dependence-based legality of loop transformations.
+
+A unimodular transform ``T`` is legal for a nest iff every dependence
+distance vector ``d`` remains lexicographically positive after the
+transformation (``T d`` lex-positive).  Nests with unknown dependences
+(no constant distance vector) admit only the identity.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.dependence import DependenceInfo
+from repro.linalg.matrices import mat_vec
+from repro.transform.unimodular_loop import LoopTransform
+
+
+def _lex_positive_or_zero(vector: Sequence[int]) -> bool:
+    """True for the zero vector or a lexicographically positive one."""
+    for component in vector:
+        if component != 0:
+            return component > 0
+    return True
+
+
+def transformed_distances(
+    info: DependenceInfo, transform: LoopTransform
+) -> tuple[tuple[int, ...], ...]:
+    """Distance vectors after applying the transform."""
+    return tuple(
+        mat_vec(transform.matrix, distance)
+        for distance in info.distance_vectors()
+    )
+
+
+def _lex_strictly_positive(vector: Sequence[int]) -> bool:
+    """True iff the vector is lexicographically > 0."""
+    for component in vector:
+        if component != 0:
+            return component > 0
+    return False
+
+
+def is_legal(info: DependenceInfo, transform: LoopTransform) -> bool:
+    """True iff the transform preserves every dependence of the nest.
+
+    Constant distances must stay lexicographically non-negative; rays
+    (direction families ``{lambda d : lambda > 0}``) must stay strictly
+    lex-positive, which is exact because ``T (lambda d) = lambda (T d)``.
+    Unknown dependences make every non-identity transform illegal
+    (conservative).
+    """
+    if transform.is_identity:
+        return True
+    if info.has_unknown:
+        return False
+    if not all(
+        _lex_positive_or_zero(distance)
+        for distance in transformed_distances(info, transform)
+    ):
+        return False
+    return all(
+        _lex_strictly_positive(mat_vec(transform.matrix, ray))
+        for ray in info.rays()
+    )

@@ -1,0 +1,138 @@
+"""Scanning a unimodularly transformed iteration space.
+
+After a transform ``I' = T I``, the new execution order is the
+lexicographic order of ``I'`` over the image polytope
+``{T I : low <= I <= high}``.  To walk that order we need per-level
+loop bounds of ``I'``, which we derive with exact Fourier-Motzkin
+elimination over the constraint system ``low <= T^-1 I' <= high``.
+
+For permutation transforms this degenerates to permuted box bounds; for
+skews it produces the familiar shifted trapezoid bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Sequence
+
+from repro.transform.unimodular_loop import LoopTransform
+
+
+@dataclass(frozen=True)
+class _Inequality:
+    """``sum(coeffs . x) <= constant`` over transformed variables."""
+
+    coeffs: tuple[Fraction, ...]
+    constant: Fraction
+
+
+def _box_system(
+    transform: LoopTransform, box: Sequence[tuple[int, int]]
+) -> list[_Inequality]:
+    """Constraints ``low <= T^-1 x' <= high`` as <=-inequalities."""
+    depth = transform.depth
+    system: list[_Inequality] = []
+    for row, (low, high) in zip(transform.inverse, box):
+        coeffs = tuple(Fraction(c) for c in row)
+        # row . x' <= high
+        system.append(_Inequality(coeffs, Fraction(high)))
+        # -(row . x') <= -low
+        system.append(
+            _Inequality(tuple(-c for c in coeffs), Fraction(-low))
+        )
+    return system
+
+
+def fourier_motzkin_bounds(
+    transform: LoopTransform, box: Sequence[tuple[int, int]]
+) -> list[list[_Inequality]]:
+    """Per-level constraint systems after eliminating inner variables.
+
+    Returns ``systems`` where ``systems[k]`` constrains variables
+    ``x'_0 .. x'_k`` only; scanning instantiates levels outermost-in,
+    computing integer bounds for ``x'_k`` from ``systems[k]`` given the
+    outer values.
+    """
+    depth = transform.depth
+    systems: list[list[_Inequality]] = [[] for _ in range(depth)]
+    current = _box_system(transform, box)
+    for level in range(depth - 1, -1, -1):
+        # Keep only inequalities mentioning nothing beyond `level`.
+        systems[level] = [
+            ineq for ineq in current if not any(ineq.coeffs[level + 1:])
+        ]
+        if level == 0:
+            break
+        # Eliminate variable `level` to produce the next outer system.
+        zero_rows = [ineq for ineq in current if ineq.coeffs[level] == 0]
+        upper = [ineq for ineq in current if ineq.coeffs[level] > 0]
+        lower = [ineq for ineq in current if ineq.coeffs[level] < 0]
+        combined: list[_Inequality] = list(zero_rows)
+        for up in upper:
+            for lo in lower:
+                scale_up = up.coeffs[level]
+                scale_lo = -lo.coeffs[level]
+                coeffs = tuple(
+                    lo_c * scale_up + up_c * scale_lo
+                    for lo_c, up_c in zip(lo.coeffs, up.coeffs)
+                )
+                constant = lo.constant * scale_up + up.constant * scale_lo
+                combined.append(_Inequality(coeffs, constant))
+        current = combined
+    return systems
+
+
+def _level_bounds(
+    system: Sequence[_Inequality], level: int, outer: Sequence[int]
+) -> tuple[int, int]:
+    """Integer (low, high) bounds for variable ``level`` given outer values.
+
+    Returns an empty range (low > high) when the slice is empty.
+    """
+    low = -math.inf
+    high = math.inf
+    for ineq in system:
+        coefficient = ineq.coeffs[level]
+        rest = ineq.constant - sum(
+            c * v for c, v in zip(ineq.coeffs[:level], outer)
+        )
+        if coefficient == 0:
+            if rest < 0:
+                return (0, -1)
+            continue
+        bound = rest / coefficient
+        if coefficient > 0:
+            high = min(high, math.floor(bound))
+        else:
+            low = max(low, math.ceil(bound))
+    if low == -math.inf or high == math.inf:
+        raise ValueError("transformed iteration space is unbounded")
+    return (int(low), int(high))
+
+
+def scan_transformed_box(
+    transform: LoopTransform, box: Sequence[tuple[int, int]]
+) -> Iterator[tuple[int, ...]]:
+    """Yield *original-space* iteration points in transformed order.
+
+    Equivalent to executing the restructured nest: iterates the image
+    polytope lexicographically and maps each transformed point back
+    through ``T^-1``.  For the identity transform this is plain
+    lexicographic box order.
+    """
+    depth = transform.depth
+    systems = fourier_motzkin_bounds(transform, box)
+
+    def recurse(prefix: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+        level = len(prefix)
+        low, high = _level_bounds(systems[level], level, prefix)
+        for value in range(low, high + 1):
+            point = prefix + (value,)
+            if level == depth - 1:
+                yield transform.original_iteration(point)
+            else:
+                yield from recurse(point)
+
+    yield from recurse(())

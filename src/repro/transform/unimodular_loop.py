@@ -1,0 +1,153 @@
+"""Unimodular loop transformation objects.
+
+A transform maps the iteration vector ``I`` to ``I' = T I`` with ``T``
+unimodular, so the new execution order is the lexicographic order of
+``I'``.  The quantity the layout machinery needs is the *old-space step
+of the new innermost loop*: one step of the innermost transformed loop
+moves the original iteration vector by the last column of ``T^-1``
+(paper, Section 2: interchanging the loops of Figure 2 flips the
+preferred layouts of Q1 and Q2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.linalg.matrices import (
+    IntMatrix,
+    identity_matrix,
+    inverse_integer,
+    is_unimodular,
+    mat_mul,
+    mat_vec,
+)
+
+
+@dataclass(frozen=True)
+class LoopTransform:
+    """A named unimodular loop transformation.
+
+    Attributes:
+        name: human-readable label ("identity", "interchange(0,1)", ...).
+        matrix: the unimodular matrix ``T``.
+        inverse: ``T^-1`` (integer, cached at construction).
+    """
+
+    name: str
+    matrix: IntMatrix
+    inverse: IntMatrix
+
+    @staticmethod
+    def create(name: str, matrix: Sequence[Sequence[int]]) -> "LoopTransform":
+        """Validate unimodularity and cache the inverse.
+
+        Raises:
+            ValueError: when the matrix is not unimodular.
+        """
+        frozen = tuple(tuple(int(x) for x in row) for row in matrix)
+        if not is_unimodular(frozen):
+            raise ValueError(f"transform {name} is not unimodular")
+        return LoopTransform(name, frozen, inverse_integer(frozen))
+
+    @property
+    def depth(self) -> int:
+        """Nest depth the transform applies to."""
+        return len(self.matrix)
+
+    @property
+    def is_identity(self) -> bool:
+        """True for the identity transformation."""
+        return self.matrix == identity_matrix(self.depth)
+
+    def innermost_direction(self) -> tuple[int, ...]:
+        """Old-space step of one iteration of the new innermost loop.
+
+        This is the last column of ``T^-1``: if the transformed vector
+        advances by ``e_n``, the original vector advances by
+        ``T^-1 e_n``.
+        """
+        return tuple(row[-1] for row in self.inverse)
+
+    def apply_to_iteration(self, point: Sequence[int]) -> tuple[int, ...]:
+        """Map an original iteration point into the transformed space."""
+        return mat_vec(self.matrix, point)
+
+    def original_iteration(self, transformed: Sequence[int]) -> tuple[int, ...]:
+        """Map a transformed point back to the original space."""
+        return mat_vec(self.inverse, transformed)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def identity_transform(depth: int) -> LoopTransform:
+    """The do-nothing transform for a nest of the given depth."""
+    return LoopTransform.create("identity", identity_matrix(depth))
+
+
+def permutation_transform(permutation: Sequence[int]) -> LoopTransform:
+    """Permute loops: new loop ``r`` is old loop ``permutation[r]``.
+
+    ``permutation_transform((1, 0))`` is the classic loop interchange.
+
+    Raises:
+        ValueError: if ``permutation`` is not a permutation of
+            ``0..len-1``.
+    """
+    depth = len(permutation)
+    if sorted(permutation) != list(range(depth)):
+        raise ValueError(f"not a permutation: {permutation}")
+    matrix = tuple(
+        tuple(1 if c == permutation[r] else 0 for c in range(depth))
+        for r in range(depth)
+    )
+    label = ",".join(str(p) for p in permutation)
+    name = "identity" if tuple(permutation) == tuple(range(depth)) else f"permute({label})"
+    return LoopTransform.create(name, matrix)
+
+
+def reversal_transform(depth: int, loop: int) -> LoopTransform:
+    """Reverse the direction of one loop.
+
+    Raises:
+        ValueError: if ``loop`` is out of range.
+    """
+    if not 0 <= loop < depth:
+        raise ValueError(f"loop index {loop} out of range for depth {depth}")
+    matrix = [
+        [1 if r == c else 0 for c in range(depth)] for r in range(depth)
+    ]
+    matrix[loop][loop] = -1
+    return LoopTransform.create(f"reverse({loop})", matrix)
+
+
+def skew_transform(depth: int, target: int, source: int, factor: int) -> LoopTransform:
+    """Skew loop ``target`` by ``factor`` times loop ``source``.
+
+    Raises:
+        ValueError: for out-of-range or equal loop indices.
+    """
+    if target == source:
+        raise ValueError("cannot skew a loop by itself")
+    if not (0 <= target < depth and 0 <= source < depth):
+        raise ValueError("skew loop index out of range")
+    matrix = [
+        [1 if r == c else 0 for c in range(depth)] for r in range(depth)
+    ]
+    matrix[target][source] = factor
+    return LoopTransform.create(
+        f"skew({target},{source},{factor})", matrix
+    )
+
+
+def compose(outer: LoopTransform, inner: LoopTransform) -> LoopTransform:
+    """The transform applying ``inner`` first, then ``outer``.
+
+    Raises:
+        ValueError: on depth mismatch.
+    """
+    if outer.depth != inner.depth:
+        raise ValueError("cannot compose transforms of different depths")
+    name = f"{outer.name}*{inner.name}"
+    return LoopTransform.create(name, mat_mul(outer.matrix, inner.matrix))

@@ -1,0 +1,11 @@
+"""ASCII visualizations of the paper's illustrative figures."""
+
+from repro.viz.layout_art import render_layout_grid, layout_gallery
+from repro.viz.search_art import render_search_trace, TraceRecorder
+
+__all__ = [
+    "render_layout_grid",
+    "layout_gallery",
+    "render_search_trace",
+    "TraceRecorder",
+]

@@ -1,0 +1,61 @@
+"""ASCII bar charts (used for the Figure 4 breakdown)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Fill characters per series, cycled.
+_FILLS = "#=+*o"
+
+
+def stacked_bar_chart(
+    rows: Mapping[str, Sequence[float]],
+    series: Sequence[str],
+    width: int = 50,
+) -> str:
+    """Render 100%-stacked horizontal bars.
+
+    Args:
+        rows: label -> one share per series (shares are normalized).
+        series: series names, in stacking order.
+        width: bar width in characters.
+
+    >>> print(stacked_bar_chart({"x": [1, 1]}, ["a", "b"], width=8))
+    x  ####====  a 50.0% / b 50.0%
+    <BLANKLINE>
+    legend: a '#'  b '='
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    label_width = max(len(label) for label in rows) if rows else 0
+    lines = []
+    for label, values in rows.items():
+        if len(values) != len(series):
+            raise ValueError(f"row {label!r} has {len(values)} values, "
+                             f"expected {len(series)}")
+        total = float(sum(values))
+        if total <= 0:
+            shares = [0.0] * len(values)
+        else:
+            shares = [value / total for value in values]
+        cells = [int(round(share * width)) for share in shares]
+        # Fix rounding drift so the bar is exactly `width` wide.
+        drift = width - sum(cells)
+        if cells and total > 0:
+            cells[cells.index(max(cells))] += drift
+        bar = "".join(
+            _FILLS[index % len(_FILLS)] * count
+            for index, count in enumerate(cells)
+        )
+        annotation = " / ".join(
+            f"{name} {100 * share:.1f}%"
+            for name, share in zip(series, shares)
+        )
+        lines.append(f"{label.ljust(label_width)}  {bar}  {annotation}")
+    legend = "  ".join(
+        f"{name} '{_FILLS[index % len(_FILLS)]}'"
+        for index, name in enumerate(series)
+    )
+    lines.append("")
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""ASCII rendering of hyperplane layouts (the paper's Figure 1).
+
+Each array element is drawn as the symbol of its hyperplane constant
+``c = y . d`` (mod the symbol alphabet), so elements stored together
+share a symbol: rows of equal symbols for (1 0), columns for (0 1),
+diagonals for (1 -1), anti-diagonals for (1 1).
+"""
+
+from __future__ import annotations
+
+from repro.layout.hyperplane import Hyperplane
+from repro.layout.layout import Layout, antidiagonal, column_major, diagonal, row_major
+
+_SYMBOLS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def render_layout_grid(layout: Layout, size: int = 8) -> str:
+    """Draw a size x size 2-D array under a 2-D layout.
+
+    Raises:
+        ValueError: for layouts of other dimensionalities.
+    """
+    if layout.dimension != 2:
+        raise ValueError("render_layout_grid draws 2-D layouts only")
+    hyperplane = Hyperplane(layout.rows[0])
+    lines = []
+    for row in range(size):
+        symbols = []
+        for column in range(size):
+            constant = hyperplane.constant_for((row, column))
+            symbols.append(_SYMBOLS[constant % len(_SYMBOLS)])
+        lines.append(" ".join(symbols))
+    return "\n".join(lines)
+
+
+def layout_gallery(size: int = 8) -> str:
+    """The four Figure 1 layouts side by side with their vectors."""
+    entries = [
+        ("(a) row-major", row_major(2)),
+        ("(b) column-major", column_major(2)),
+        ("(c) diagonal", diagonal()),
+        ("(d) anti-diagonal", antidiagonal()),
+    ]
+    blocks = []
+    for title, layout in entries:
+        vector = Hyperplane(layout.rows[0])
+        header = f"{title}  {vector}"
+        blocks.append(header + "\n" + render_layout_grid(layout, size))
+    return "\n\n".join(blocks)

@@ -1,0 +1,120 @@
+"""Textual search traces (the paper's Figure 3).
+
+:class:`TraceRecorder` replays a solver's decisions on small networks
+so the difference between chronological backtracking and backjumping is
+visible: on a dead end the backjumper skips variables that share no
+constraint with the dead-end variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.csp.network import ConstraintNetwork
+
+Value = Hashable
+
+
+@dataclass
+class TraceRecorder:
+    """Collects (event, detail) lines during an instrumented search."""
+
+    events: list[str] = field(default_factory=list)
+
+    def assign(self, variable: str, value: Value) -> None:
+        """Record a forward-phase instantiation."""
+        self.events.append(f"assign   {variable} = {value!r}")
+
+    def reject(self, variable: str, value: Value) -> None:
+        """Record a consistency failure for a tried value."""
+        self.events.append(f"reject   {variable} = {value!r}")
+
+    def backtrack(self, source: str, target: str) -> None:
+        """Record a chronological step back."""
+        self.events.append(f"backtrack {source} -> {target}")
+
+    def backjump(self, source: str, target: str, skipped: int) -> None:
+        """Record a jump that skipped ``skipped`` variables."""
+        self.events.append(
+            f"backjump  {source} -> {target} (skipped {skipped})"
+        )
+
+    def solution(self) -> None:
+        """Record success."""
+        self.events.append("solution found")
+
+    def render(self) -> str:
+        """The trace as a numbered text block."""
+        return "\n".join(
+            f"{index + 1:3d}. {event}" for index, event in enumerate(self.events)
+        )
+
+
+def traced_backtracking(
+    network: ConstraintNetwork,
+    order: list[str],
+    recorder: TraceRecorder,
+    backjumping: bool,
+) -> dict[str, Value] | None:
+    """A small, static-order solver that narrates its decisions.
+
+    Intentionally simple (static variable order, no value heuristics):
+    the purpose is the Figure 3 illustration, not performance.  Returns
+    the solution or None.
+    """
+    assignment: dict[str, Value] = {}
+
+    def search(depth: int) -> tuple[dict[str, Value] | None, int]:
+        if depth == len(order):
+            recorder.solution()
+            return dict(assignment), depth
+        variable = order[depth]
+        for value in network.domain(variable):
+            consistent = True
+            for earlier in order[:depth]:
+                if not network.check_pair(
+                    variable, value, earlier, assignment[earlier]
+                ):
+                    consistent = False
+                    break
+            if not consistent:
+                recorder.reject(variable, value)
+                continue
+            recorder.assign(variable, value)
+            assignment[variable] = value
+            solution, jump = search(depth + 1)
+            if solution is not None:
+                return solution, jump
+            del assignment[variable]
+            if jump < depth:
+                return None, jump
+        # Dead end.
+        if backjumping:
+            connected = [
+                index
+                for index in range(depth)
+                if network.constraint_between(variable, order[index]) is not None
+            ]
+            target = max(connected) if connected else -1
+            if target >= 0:
+                recorder.backjump(
+                    variable, order[target], depth - 1 - target
+                )
+            return None, target
+        if depth > 0:
+            recorder.backtrack(variable, order[depth - 1])
+        return None, depth - 1
+
+    solution, _ = search(0)
+    return solution
+
+
+def render_search_trace(
+    network: ConstraintNetwork, order: list[str], backjumping: bool
+) -> str:
+    """Run the traced solver and return the rendered narration."""
+    recorder = TraceRecorder()
+    traced_backtracking(network, order, recorder, backjumping)
+    mode = "backjumping" if backjumping else "backtracking"
+    return f"[{mode}]\n{recorder.render()}"

@@ -1,0 +1,68 @@
+"""Tests for the conflicting-nest machinery of the generator."""
+
+import pytest
+
+from repro.bench.generator import SyntheticSpec, generate_program
+from repro.bench.programs import benchmark_build_options
+from repro.csp.enhanced import EnhancedSolver
+from repro.ir.validate import validate_program
+from repro.opt.network_builder import build_layout_network
+
+
+def _spec(conflicts: int, seed: int = 5) -> SyntheticSpec:
+    return SyntheticSpec(
+        name="g",
+        array_extents=(48,) * 8,
+        nest_count=8,
+        arrays_per_nest=(2, 3),
+        pattern_variety=0.2,
+        conflict_nests=conflicts,
+        seed=seed,
+    )
+
+
+class TestConflictNests:
+    def test_conflict_nests_appended(self):
+        program = generate_program(_spec(3))
+        names = [nest.name for nest in program.nests]
+        assert names[-3:] == ["conflict1", "conflict2", "conflict3"]
+        assert len(program.nests) == 11
+
+    def test_conflict_nests_have_top_weight(self):
+        program = generate_program(_spec(2))
+        clean_max = max(nest.weight for nest in program.nests[:8])
+        for nest in program.nests[8:]:
+            assert nest.weight > clean_max
+
+    def test_conflict_arrays_subset_of_a_clean_nest(self):
+        program = generate_program(_spec(3))
+        clean_sets = [set(nest.arrays()) for nest in program.nests[:8]]
+        for nest in program.nests[8:]:
+            arrays = set(nest.arrays())
+            assert any(arrays <= clean for clean in clean_sets)
+
+    @pytest.mark.parametrize("seed", [5, 6, 7, 8])
+    def test_network_remains_satisfiable(self, seed):
+        """The conflict nests' pairs are unioned with clean pairs, so
+        the planted home assignment must survive."""
+        program = generate_program(_spec(3, seed=seed))
+        network = build_layout_network(
+            program, benchmark_build_options()
+        ).network
+        result = EnhancedSolver().solve(network)
+        assert result.satisfiable, seed
+
+    def test_programs_stay_valid(self):
+        for seed in range(4):
+            validate_program(generate_program(_spec(2, seed=seed)))
+
+    def test_zero_conflicts_by_default(self):
+        spec = SyntheticSpec("g", (48,) * 4, 4, seed=1)
+        program = generate_program(spec)
+        assert all(not n.name.startswith("conflict") for n in program.nests)
+
+    def test_negative_conflicts_rejected(self):
+        with pytest.raises(ValueError):
+            _ = SyntheticSpec(
+                "g", (48,) * 4, 4, conflict_nests=-1
+            )

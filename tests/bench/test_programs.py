@@ -1,0 +1,167 @@
+"""Tests for the five Table 1 benchmark programs."""
+
+import pytest
+
+from repro.bench.generator import (
+    PATTERNS,
+    SyntheticSpec,
+    extents_for_data_size,
+    generate_program,
+    patterns_with_home,
+)
+from repro.bench.programs import (
+    BENCHMARK_NAMES,
+    TABLE1_REFERENCE,
+    benchmark_build_options,
+    build_benchmark,
+)
+from repro.csp.enhanced import EnhancedSolver
+from repro.ir.validate import validate_program
+from repro.opt.network_builder import build_layout_network
+
+
+class TestTable1Characteristics:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_programs_validate(self, name):
+        validate_program(build_benchmark(name))
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_data_size_within_five_percent(self, name):
+        program = build_benchmark(name)
+        _, paper_kb = TABLE1_REFERENCE[name]
+        measured_kb = program.total_data_bytes() / 1024
+        assert measured_kb == pytest.approx(paper_kb, rel=0.05)
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_networks_satisfiable(self, name):
+        """The planted home assignment guarantees every benchmark
+        network has a solution (the paper's Table 2/3 precondition)."""
+        program = build_benchmark(name)
+        result = build_layout_network(program, benchmark_build_options())
+        solved = EnhancedSolver().solve(result.network)
+        assert solved.satisfiable
+        assert result.network.is_solution(solved.assignment)
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_every_declared_array_referenced(self, name):
+        program = build_benchmark(name)
+        assert program.referenced_arrays() == program.array_names()
+
+    def test_benchmark_caching(self):
+        assert build_benchmark("MxM") is build_benchmark("MxM")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_benchmark("SPECint")
+
+    def test_difficulty_ordering_tracks_paper(self):
+        """The paper's hardest instances (Shape) have the largest
+        domains; MxM the smallest."""
+        domains = {
+            name: build_layout_network(
+                build_benchmark(name), benchmark_build_options()
+            ).domain_size
+            for name in BENCHMARK_NAMES
+        }
+        assert domains["MxM"] == min(domains.values())
+        assert domains["Shape"] >= domains["Radar"]
+
+
+class TestMxM:
+    def test_structure(self):
+        program = build_benchmark("MxM")
+        assert len(program.nests) == 2
+        assert program.array_names() == ("A", "B", "T", "C", "D")
+        for nest in program.nests:
+            assert nest.depth == 3
+
+    def test_all_permutations_legal(self):
+        """The accumulation dependence is loop-independent, so every
+        loop permutation of a matmul nest is legal."""
+        from repro.transform.catalog import legal_transforms
+
+        program = build_benchmark("MxM")
+        for nest in program.nests:
+            legal = legal_transforms(nest)
+            assert len(legal) == 6
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = SyntheticSpec("g", (32, 32, 32), 4, seed=7)
+        first = generate_program(spec)
+        second = generate_program(spec)
+        assert str(first) == str(second)
+
+    def test_seed_changes_program(self):
+        base = SyntheticSpec("g", (32,) * 6, 5, seed=1)
+        other = SyntheticSpec("g", (32,) * 6, 5, seed=2)
+        assert str(generate_program(base)) != str(generate_program(other))
+
+    def test_single_write_per_nest(self):
+        program = generate_program(SyntheticSpec("g", (32,) * 8, 6, seed=3))
+        for nest in program.nests:
+            writes = [ref for ref in nest.body if ref.is_write]
+            assert len(writes) == 1
+
+    def test_generated_programs_validate(self):
+        for seed in range(5):
+            spec = SyntheticSpec("g", (24,) * 6, 5, seed=seed)
+            validate_program(generate_program(spec))
+
+    def test_planted_solution_exists(self):
+        """For any seed, the generated network must be satisfiable."""
+        for seed in range(4):
+            spec = SyntheticSpec(
+                "g", (32,) * 8, 7, pattern_variety=0.3, seed=seed
+            )
+            program = generate_program(spec)
+            network = build_layout_network(
+                program, benchmark_build_options()
+            ).network
+            assert EnhancedSolver().solve(network).satisfiable, seed
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec("g", (), 3)
+        with pytest.raises(ValueError):
+            SyntheticSpec("g", (32,), 0)
+        with pytest.raises(ValueError):
+            SyntheticSpec("g", (32,), 3, arrays_per_nest=(1, 2))
+        with pytest.raises(ValueError):
+            SyntheticSpec("g", (32,), 3, pattern_variety=1.5)
+
+    def test_pattern_homes_are_consistent(self):
+        """Each palette entry's declared home is the canonical left
+        null space of its identity-direction delta."""
+        from repro.ir.reference import ArrayRef
+        from repro.layout.locality import access_delta, layout_for_deltas
+
+        for name, (make, _, home) in PATTERNS.items():
+            subscripts = make("i", "j")
+            ref = ArrayRef("Q", subscripts)
+            delta = access_delta(ref, ("i", "j"), (0, 1))
+            layout = layout_for_deltas([delta], 2)
+            assert layout is not None, name
+            assert layout.rows[0] == home, name
+
+    def test_patterns_with_home_partition(self):
+        all_patterns = set(PATTERNS)
+        grouped = set()
+        for home in {(1, 0), (0, 1), (1, -1), (1, -2)}:
+            grouped |= set(patterns_with_home(home))
+        assert grouped == all_patterns
+
+
+class TestExtentsForDataSize:
+    def test_close_fit(self):
+        extents = extents_for_data_size(1024 * 1024, 16)
+        total = sum(4 * e * e for e in extents)
+        assert total == pytest.approx(1024 * 1024, rel=0.05)
+
+    def test_count_respected(self):
+        assert len(extents_for_data_size(500_000, 7)) == 7
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            extents_for_data_size(1000, 0)

@@ -1,0 +1,148 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.cachesim.cache import Cache, ReplacementPolicy
+
+
+def _direct_mapped(lines: int = 4, line_size: int = 32) -> Cache:
+    return Cache("t", lines * line_size, 1, line_size)
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        cache = Cache("L1", 8 * 1024, 2, 32)
+        assert cache.num_sets == 128
+
+    def test_paper_l1_geometry(self):
+        cache = Cache("L1D", 8 * 1024, 2, 32)
+        assert cache.num_sets * cache.associativity * cache.line_size == 8192
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 1024, 2, 24)
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 1000, 2, 32)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 96 * 32, 1, 32)
+
+    def test_str(self):
+        assert "2-way" in str(Cache("L1", 8192, 2, 32))
+
+
+class TestHitsAndMisses:
+    def test_cold_miss_then_hit(self):
+        cache = _direct_mapped()
+        assert cache.access_line(0, False) is False
+        assert cache.access_line(0, False) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_conflict_eviction_direct_mapped(self):
+        cache = _direct_mapped(lines=4)
+        cache.access_line(0, False)
+        cache.access_line(4, False)  # same set (4 sets), conflicting tag
+        assert cache.stats.evictions == 1
+        assert cache.access_line(0, False) is False  # was evicted
+
+    def test_associativity_prevents_conflict(self):
+        cache = Cache("t", 2 * 4 * 32, 2, 32)  # 4 sets, 2-way
+        cache.access_line(0, False)
+        cache.access_line(4, False)
+        assert cache.access_line(0, False) is True
+
+    def test_lru_victim(self):
+        cache = Cache("t", 2 * 1 * 32, 2, 32)  # 1 set, 2-way
+        cache.access_line(0, False)
+        cache.access_line(1, False)
+        cache.access_line(0, False)  # 0 is now MRU
+        cache.access_line(2, False)  # evicts LRU = 1
+        assert cache.access_line(0, False) is True
+        assert cache.access_line(1, False) is False
+
+    def test_fifo_victim_ignores_recency(self):
+        cache = Cache("t", 2 * 1 * 32, 2, 32, ReplacementPolicy.FIFO)
+        cache.access_line(0, False)
+        cache.access_line(1, False)
+        cache.access_line(0, False)  # touch does not move 0 in FIFO
+        cache.access_line(2, False)  # evicts oldest = 0
+        assert cache.access_line(1, False) is True
+        assert cache.access_line(0, False) is False
+
+    def test_random_policy_bounded(self):
+        cache = Cache("t", 4 * 1 * 32, 4, 32, ReplacementPolicy.RANDOM, seed=7)
+        for line in range(16):
+            cache.access_line(line, False)
+        assert cache.stats.evictions == 12
+
+
+class TestWriteback:
+    def test_dirty_eviction_counts_writeback(self):
+        cache = _direct_mapped(lines=4)
+        cache.access_line(0, True)  # dirty
+        cache.access_line(4, False)  # evicts dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = _direct_mapped(lines=4)
+        cache.access_line(0, False)
+        cache.access_line(4, False)
+        assert cache.stats.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        cache = _direct_mapped(lines=4)
+        cache.access_line(0, False)
+        cache.access_line(0, True)  # hit, mark dirty
+        cache.access_line(4, False)  # evict -> writeback
+        assert cache.stats.writebacks == 1
+
+    def test_flush_reports_dirty_lines(self):
+        cache = _direct_mapped()
+        cache.access_line(0, True)
+        cache.access_line(1, True)
+        assert cache.flush() == 2
+        assert not cache.contains(0)
+
+
+class TestByteAccess:
+    def test_within_line_single_access(self):
+        cache = _direct_mapped()
+        hits, misses = cache.access(0, 4, False)
+        assert (hits, misses) == (0, 1)
+
+    def test_straddling_access_touches_two_lines(self):
+        cache = _direct_mapped()
+        hits, misses = cache.access(30, 4, False)  # crosses 32B boundary
+        assert misses == 2
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            _direct_mapped().access(0, 0, False)
+
+    def test_lines_of(self):
+        cache = _direct_mapped()
+        assert list(cache.lines_of(30, 4)) == [0, 1]
+
+    def test_contains(self):
+        cache = _direct_mapped()
+        cache.access(64, 4, False)
+        assert cache.contains(64)
+        assert not cache.contains(0)
+
+
+class TestSpatialLocalitySignal:
+    def test_sequential_beats_strided(self):
+        """The core phenomenon the paper exploits: walking memory
+        sequentially has a far lower miss rate than striding."""
+        sequential = Cache("s", 8 * 1024, 2, 32)
+        for address in range(0, 4096, 4):
+            sequential.access(address, 4, False)
+        strided = Cache("t", 8 * 1024, 2, 32)
+        for address in range(0, 4096 * 64, 256):
+            strided.access(address, 4, False)
+        assert sequential.stats.miss_rate < 0.2
+        assert strided.stats.miss_rate > 0.9

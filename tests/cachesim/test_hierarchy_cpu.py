@@ -1,0 +1,136 @@
+"""Unit tests for the hierarchy and CPU timing models."""
+
+import pytest
+
+from repro.cachesim.cpu import CPUConfig, DualIssueCPU
+from repro.cachesim.hierarchy import (
+    HierarchyConfig,
+    MemoryHierarchy,
+    paper_hierarchy,
+)
+
+
+class TestHierarchyConfig:
+    def test_paper_defaults(self):
+        config = HierarchyConfig()
+        assert config.l1_size == 8 * 1024
+        assert config.l1_associativity == 2
+        assert config.l1_line == 32
+        assert config.l2_size == 64 * 1024
+        assert config.l2_associativity == 4
+        assert config.l2_line == 64
+        assert (config.l1_latency, config.l2_latency, config.memory_latency) == (
+            1,
+            6,
+            70,
+        )
+
+    def test_bad_latency_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(l1_latency=0)
+
+
+class TestHierarchyLatencies:
+    def test_full_miss_latency(self):
+        hierarchy = paper_hierarchy()
+        latency = hierarchy.access_data(0, 4, False)
+        assert latency == 1 + 6 + 70
+
+    def test_l1_hit_latency(self):
+        hierarchy = paper_hierarchy()
+        hierarchy.access_data(0, 4, False)
+        assert hierarchy.access_data(0, 4, False) == 1
+
+    def test_l2_hit_latency(self):
+        hierarchy = paper_hierarchy()
+        hierarchy.access_data(0, 4, False)
+        # Evict line 0 from L1 by touching two conflicting lines
+        # (L1: 128 sets * 32B = 4096B stride per set index).
+        hierarchy.access_data(8 * 1024, 4, False)
+        hierarchy.access_data(16 * 1024, 4, False)
+        # L2 is bigger (64KB), so line 0 is still in L2.
+        assert hierarchy.access_data(0, 4, False) == 1 + 6
+
+    def test_instruction_path_separate_from_data(self):
+        hierarchy = paper_hierarchy()
+        hierarchy.access_data(0, 4, False)
+        # Same address through the I-cache still misses L1I (separate),
+        # but hits L2 (unified) -- the structure of the paper's config.
+        assert hierarchy.access_instruction(0) == 1 + 6
+
+    def test_flush_resets_contents(self):
+        hierarchy = paper_hierarchy()
+        hierarchy.access_data(0, 4, False)
+        hierarchy.flush()
+        assert hierarchy.access_data(0, 4, False) == 77
+
+    def test_report_levels(self):
+        hierarchy = paper_hierarchy()
+        hierarchy.access_data(0, 4, False)
+        report = hierarchy.report()
+        assert set(report) == {"L1D", "L1I", "L2"}
+        assert report["L1D"]["misses"] == 1
+
+
+class TestCPU:
+    def test_dual_issue_ops(self):
+        cpu = DualIssueCPU(paper_hierarchy())
+        cpu.execute_ops(10)
+        assert cpu.cycles == 5
+        assert cpu.instructions == 10
+
+    def test_odd_ops_round_up(self):
+        cpu = DualIssueCPU(paper_hierarchy())
+        cpu.execute_ops(3)
+        assert cpu.cycles == 2
+
+    def test_negative_ops_rejected(self):
+        cpu = DualIssueCPU(paper_hierarchy())
+        with pytest.raises(ValueError):
+            cpu.execute_ops(-1)
+
+    def test_memory_stall(self):
+        cpu = DualIssueCPU(paper_hierarchy())
+        cpu.execute_memory(0, 4, False)  # full miss: 77 cycles latency
+        assert cpu.cycles == 1 + 76
+        assert cpu.memory_accesses == 1
+
+    def test_memory_hit_costs_one_cycle(self):
+        cpu = DualIssueCPU(paper_hierarchy())
+        cpu.execute_memory(0, 4, False)
+        start = cpu.cycles
+        cpu.execute_memory(0, 4, False)
+        assert cpu.cycles - start == 1
+
+    def test_instruction_fetch_hits_are_free(self):
+        cpu = DualIssueCPU(paper_hierarchy())
+        cpu.fetch_instructions(0x400000, 8)  # cold: stalls
+        cold = cpu.cycles
+        cpu.fetch_instructions(0x400000, 8)  # warm: pipelined
+        assert cpu.cycles == cold
+
+    def test_issue_width_validated(self):
+        with pytest.raises(ValueError):
+            CPUConfig(issue_width=0)
+
+    def test_cache_behavior_dominates_cycles(self):
+        """Row-wise walk vs column-wise walk of the same data: the
+        column walk must cost significantly more cycles -- Table 3's
+        entire premise.  The array (256KB) exceeds the 64KB L2, so the
+        strided walk cannot hide behind L2 residency."""
+        rows, cols, element = 256, 256, 4
+
+        def run(column_major_walk: bool) -> int:
+            cpu = DualIssueCPU(paper_hierarchy())
+            for a in range(rows):
+                for b in range(cols):
+                    if column_major_walk:
+                        address = (b * cols + a) * element
+                    else:
+                        address = (a * cols + b) * element
+                    cpu.execute_memory(address, element, False)
+            return cpu.cycles
+
+        row_cycles = run(False)
+        column_cycles = run(True)
+        assert column_cycles > 2 * row_cycles

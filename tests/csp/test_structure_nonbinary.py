@@ -1,0 +1,194 @@
+"""Tests for constraint-graph structure analysis and the dual encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csp.backtracking import BacktrackingSolver
+from repro.csp.enhanced import EnhancedSolver
+from repro.csp.network import ConstraintNetwork
+from repro.csp.nonbinary import (
+    DualEncoding,
+    NaryConstraint,
+    dual_encode,
+    solve_nary,
+)
+from repro.csp.random_networks import random_network
+from repro.csp.structure import (
+    analyze_structure,
+    connected_components,
+    induced_width,
+    is_tree,
+    min_degree_ordering,
+    solve_by_components,
+)
+
+
+def _chain(n: int, domain=3) -> ConstraintNetwork:
+    network = ConstraintNetwork()
+    equal = [(v, v) for v in range(domain)]
+    for i in range(n):
+        network.add_variable(f"x{i}", list(range(domain)))
+    for i in range(n - 1):
+        network.add_constraint(f"x{i}", f"x{i + 1}", equal)
+    return network
+
+
+def _two_islands() -> ConstraintNetwork:
+    network = _chain(3)
+    network.add_variable("y0", [0, 1])
+    network.add_variable("y1", [0, 1])
+    network.add_constraint("y0", "y1", [(0, 1), (1, 0)])
+    return network
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert len(connected_components(_chain(4))) == 1
+
+    def test_two_islands(self):
+        components = connected_components(_two_islands())
+        assert sorted(len(c) for c in components) == [2, 3]
+
+    def test_isolated_variable(self):
+        network = _chain(2)
+        network.add_variable("lonely", [0])
+        assert ("lonely",) in connected_components(network)
+
+
+class TestTreeAndWidth:
+    def test_chain_is_tree(self):
+        assert is_tree(_chain(5))
+
+    def test_triangle_is_not_tree(self):
+        network = _chain(3)
+        network.add_constraint("x0", "x2", [(v, v) for v in range(3)])
+        assert not is_tree(network)
+
+    def test_chain_width_is_one(self):
+        assert induced_width(_chain(6)) == 1
+
+    def test_triangle_width_is_two(self):
+        network = _chain(3)
+        network.add_constraint("x0", "x2", [(v, v) for v in range(3)])
+        assert induced_width(network) == 2
+
+    def test_ordering_is_permutation(self):
+        network = _two_islands()
+        order = min_degree_ordering(network)
+        assert sorted(order) == sorted(network.variables)
+
+    def test_analyze_structure(self):
+        report = analyze_structure(_two_islands())
+        assert report.variables == 5
+        assert report.components == (3, 2)
+        assert report.tree
+
+
+class TestSolveByComponents:
+    def test_solves_islands_independently(self):
+        network = _two_islands()
+        result = solve_by_components(network, lambda: EnhancedSolver())
+        assert result.assignment is not None
+        assert network.is_solution(result.assignment)
+
+    def test_unsat_component_detected(self):
+        network = _two_islands()
+        # Append an unsatisfiable triangle as a third component.
+        different = [(0, 1), (1, 0)]
+        for name in ("z0", "z1", "z2"):
+            network.add_variable(name, [0, 1])
+        network.add_constraint("z0", "z1", different)
+        network.add_constraint("z1", "z2", different)
+        network.add_constraint("z0", "z2", different)
+        result = solve_by_components(network, lambda: EnhancedSolver())
+        assert result.assignment is None
+        assert result.complete
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_monolithic_solver(self, seed):
+        network = random_network(8, 3, density=0.25, tightness=0.4, seed=seed)
+        split = solve_by_components(network, lambda: EnhancedSolver())
+        mono = EnhancedSolver().solve(network)
+        assert (split.assignment is not None) == (mono.assignment is not None)
+        if split.assignment is not None:
+            assert network.is_solution(split.assignment)
+
+
+class TestNaryConstraint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NaryConstraint(("a", "a"), frozenset({(0, 0)}))
+        with pytest.raises(ValueError):
+            NaryConstraint(("a", "b"), frozenset())
+        with pytest.raises(ValueError):
+            NaryConstraint(("a", "b"), frozenset({(0,)}))
+
+    def test_allows(self):
+        constraint = NaryConstraint(
+            ("a", "b", "c"), frozenset({(0, 1, 2), (1, 1, 1)})
+        )
+        assert constraint.allows({"a": 0, "b": 1, "c": 2})
+        assert not constraint.allows({"a": 0, "b": 0, "c": 2})
+
+
+class TestDualEncoding:
+    def _nest_constraints(self):
+        """Two 'nests': one over (A, B, C), one over (B, C, D)."""
+        nest1 = NaryConstraint(
+            ("A", "B", "C"),
+            frozenset({("r", "c", "d"), ("c", "r", "d")}),
+        )
+        nest2 = NaryConstraint(
+            ("B", "C", "D"),
+            frozenset({("c", "d", "r"), ("d", "d", "c")}),
+        )
+        return [nest1, nest2]
+
+    def test_encode_shapes(self):
+        encoding = dual_encode(self._nest_constraints())
+        assert set(encoding.network.variables) == {"c0", "c1"}
+        assert encoding.network.constraint_between("c0", "c1") is not None
+
+    def test_solve_and_decode(self):
+        constraints = self._nest_constraints()
+        solution = solve_nary(constraints, EnhancedSolver())
+        assert solution is not None
+        for constraint in constraints:
+            assert constraint.allows(solution)
+
+    def test_decode_consistency(self):
+        encoding = dual_encode(self._nest_constraints())
+        decoded = encoding.decode(
+            {"c0": ("r", "c", "d"), "c1": ("c", "d", "r")}
+        )
+        assert decoded == {"A": "r", "B": "c", "C": "d", "D": "r"}
+
+    def test_disagreeing_dual_assignment_rejected(self):
+        encoding = dual_encode(self._nest_constraints())
+        with pytest.raises(ValueError):
+            encoding.decode(
+                {"c0": ("c", "r", "d"), "c1": ("c", "d", "r")}
+            )
+
+    def test_jointly_unsat_share_raises(self):
+        first = NaryConstraint(("A", "B"), frozenset({(0, 0)}))
+        second = NaryConstraint(("B", "C"), frozenset({(1, 1)}))
+        with pytest.raises(ValueError):
+            dual_encode([first, second])
+
+    def test_solve_nary_unsat_returns_none(self):
+        first = NaryConstraint(("A", "B"), frozenset({(0, 0)}))
+        second = NaryConstraint(("B", "C"), frozenset({(1, 1)}))
+        assert solve_nary([first, second], EnhancedSolver()) is None
+
+    def test_disjoint_scopes_are_unconstrained(self):
+        first = NaryConstraint(("A", "B"), frozenset({(0, 1)}))
+        second = NaryConstraint(("C", "D"), frozenset({(2, 3)}))
+        solution = solve_nary([first, second], BacktrackingSolver(seed=0))
+        assert solution == {"A": 0, "B": 1, "C": 2, "D": 3}
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            dual_encode([])

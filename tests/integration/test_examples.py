@@ -1,0 +1,55 @@
+"""Smoke tests: every example script must run and print sane output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    output = _run("quickstart.py")
+    assert "diagonal (1  -1)" in output
+    assert "column-major (0  1)" in output
+    assert "improvement" in output.lower()
+
+
+def test_layout_gallery():
+    output = _run("layout_gallery.py")
+    assert "row-major" in output
+    assert "inflation" in output
+    assert "(1  -1)" in output
+
+
+def test_solver_comparison_on_mxm():
+    output = _run("solver_comparison.py", "MxM")
+    assert "enhanced" in output
+    assert "base" in output
+    assert "sat" in output
+
+
+def test_dynamic_layouts():
+    output = _run("dynamic_layouts.py")
+    assert "layout changes: 1" in output
+    assert "layout changes: 0" in output
+
+
+@pytest.mark.slow
+def test_matmul_pipeline():
+    output = _run("matmul_pipeline.py")
+    assert "Dependences" in output
+    assert "constraint network" in output
+    assert "Simulated execution" in output

@@ -1,0 +1,126 @@
+"""Unit tests for repro.ir.dependence."""
+
+import pytest
+
+from repro.ir.dependence import analyze_nest_dependences
+from repro.ir.expr import AffineExpr
+from repro.ir.loops import Loop, LoopNest
+from repro.ir.reference import AccessKind, ArrayRef
+
+_i = AffineExpr.var("i")
+_j = AffineExpr.var("j")
+
+
+def _nest(body, name="n"):
+    return LoopNest(name, (Loop("i", 0, 9), Loop("j", 0, 9)), tuple(body))
+
+
+class TestUniformDependences:
+    def test_stencil_distance(self):
+        # A[i][j] = A[i-1][j]: flow dependence with distance (1, 0).
+        body = [
+            ArrayRef("A", (_i - 1, _j), AccessKind.READ),
+            ArrayRef("A", (_i, _j), AccessKind.WRITE),
+        ]
+        info = analyze_nest_dependences(_nest(body))
+        assert info.distance_vectors() == ((1, 0),)
+        assert not info.has_unknown
+
+    def test_inner_distance(self):
+        # A[i][j] = A[i][j-1]: distance (0, 1).
+        body = [
+            ArrayRef("A", (_i, _j - 1), AccessKind.READ),
+            ArrayRef("A", (_i, _j), AccessKind.WRITE),
+        ]
+        info = analyze_nest_dependences(_nest(body))
+        assert info.distance_vectors() == ((0, 1),)
+
+    def test_read_read_no_dependence(self):
+        body = [
+            ArrayRef("A", (_i, _j), AccessKind.READ),
+            ArrayRef("A", (_i - 1, _j), AccessKind.READ),
+        ]
+        info = analyze_nest_dependences(_nest(body))
+        assert info.dependences == ()
+
+    def test_loop_independent_dependence(self):
+        # Read and write of the same element in one iteration.
+        body = [
+            ArrayRef("A", (_i, _j), AccessKind.READ),
+            ArrayRef("A", (_i, _j), AccessKind.WRITE),
+        ]
+        info = analyze_nest_dependences(_nest(body))
+        assert len(info.dependences) == 1
+        assert info.dependences[0].is_loop_independent
+        assert info.distance_vectors() == ()
+
+    def test_distance_normalized_lex_nonnegative(self):
+        # A[i+1][j] read, A[i][j] written: the dependence flows forward,
+        # distance must be reported lex-positive.
+        body = [
+            ArrayRef("A", (_i + 1, _j), AccessKind.READ),
+            ArrayRef("A", (_i, _j), AccessKind.WRITE),
+        ]
+        info = analyze_nest_dependences(_nest(body))
+        assert info.distance_vectors() == ((1, 0),)
+
+    def test_gcd_disproof(self):
+        # A[2i] written, A[2i+1] read: never alias (parity).
+        nest = LoopNest(
+            "g",
+            (Loop("i", 0, 9),),
+            (
+                ArrayRef("A", (_i * 2 + 1,), AccessKind.READ),
+                ArrayRef("A", (_i * 2,), AccessKind.WRITE),
+            ),
+        )
+        info = analyze_nest_dependences(nest)
+        assert info.dependences == ()
+
+
+class TestNonUniform:
+    def test_transpose_pair_unknown(self):
+        # A[i][j] and A[j][i] with a write: not a uniform pair.
+        body = [
+            ArrayRef("A", (_j, _i), AccessKind.READ),
+            ArrayRef("A", (_i, _j), AccessKind.WRITE),
+        ]
+        info = analyze_nest_dependences(_nest(body))
+        assert info.has_unknown
+
+    def test_different_arrays_ignored(self):
+        body = [
+            ArrayRef("A", (_i, _j), AccessKind.READ),
+            ArrayRef("B", (_j, _i), AccessKind.WRITE),
+        ]
+        info = analyze_nest_dependences(_nest(body))
+        assert info.dependences == ()
+
+
+class TestRankDeficient:
+    def test_broadcast_row_gives_ray(self):
+        # A[i][0] written for all j: the write aliases itself along the
+        # j axis -- a dependence ray (0, 1), not a constant distance.
+        body = [
+            ArrayRef("A", (_i, AffineExpr.constant(0)), AccessKind.WRITE),
+        ]
+        info = analyze_nest_dependences(_nest(body))
+        assert not info.has_unknown
+        assert info.rays() == ((0, 1),)
+
+    def test_matmul_accumulation_gives_ray(self):
+        # T[i][j] read+write in an (i, j, k) nest: ray (0, 0, 1); all
+        # loop permutations remain legal (the MxM property).
+        from repro.ir.expr import AffineExpr as E
+
+        nest = LoopNest(
+            "mm",
+            (Loop("i", 0, 3), Loop("j", 0, 3), Loop("k", 0, 3)),
+            (
+                ArrayRef("T", (E.var("i"), E.var("j")), AccessKind.READ),
+                ArrayRef("T", (E.var("i"), E.var("j")), AccessKind.WRITE),
+            ),
+        )
+        info = analyze_nest_dependences(nest)
+        assert not info.has_unknown
+        assert (0, 0, 1) in info.rays()

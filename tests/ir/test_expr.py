@@ -1,0 +1,159 @@
+"""Unit tests for repro.ir.expr."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.expr import AffineExpr
+
+
+def _random_expr(draw_names=("i", "j", "k")):
+    return st.builds(
+        AffineExpr.from_mapping,
+        st.dictionaries(st.sampled_from(draw_names), st.integers(-9, 9), max_size=3),
+        st.integers(-20, 20),
+    )
+
+
+class TestConstruction:
+    def test_constant(self):
+        expr = AffineExpr.constant(5)
+        assert expr.is_constant()
+        assert expr.const == 5
+
+    def test_var(self):
+        expr = AffineExpr.var("i")
+        assert expr.coefficient("i") == 1
+        assert expr.const == 0
+
+    def test_var_with_coefficient(self):
+        assert AffineExpr.var("i", 3).coefficient("i") == 3
+
+    def test_zero_coefficient_dropped(self):
+        assert AffineExpr.var("i", 0) == AffineExpr.constant(0)
+
+    def test_from_mapping_drops_zeros(self):
+        expr = AffineExpr.from_mapping({"i": 0, "j": 2}, 1)
+        assert expr.variables() == ("j",)
+
+    def test_hashable(self):
+        assert hash(AffineExpr.var("i") + 1) == hash(AffineExpr.var("i") + 1)
+
+
+class TestArithmetic:
+    def test_add_vars(self):
+        expr = AffineExpr.var("i") + AffineExpr.var("j")
+        assert expr.coefficient("i") == 1
+        assert expr.coefficient("j") == 1
+
+    def test_add_int(self):
+        assert (AffineExpr.var("i") + 3).const == 3
+
+    def test_radd(self):
+        assert (3 + AffineExpr.var("i")).const == 3
+
+    def test_sub_cancels(self):
+        expr = AffineExpr.var("i") - AffineExpr.var("i")
+        assert expr == AffineExpr.constant(0)
+
+    def test_rsub(self):
+        expr = 5 - AffineExpr.var("i")
+        assert expr.coefficient("i") == -1
+        assert expr.const == 5
+
+    def test_mul(self):
+        expr = (AffineExpr.var("i") + 2) * 3
+        assert expr.coefficient("i") == 3
+        assert expr.const == 6
+
+    def test_rmul(self):
+        assert (2 * AffineExpr.var("i")).coefficient("i") == 2
+
+    def test_mul_non_int_raises(self):
+        with pytest.raises(TypeError):
+            AffineExpr.var("i") * 1.5
+
+    def test_neg(self):
+        expr = -(AffineExpr.var("i") - 4)
+        assert expr.coefficient("i") == -1
+        assert expr.const == 4
+
+    @given(_random_expr(), _random_expr())
+    @settings(max_examples=60)
+    def test_add_commutative(self, left, right):
+        assert left + right == right + left
+
+    @given(_random_expr(), st.integers(-5, 5), st.integers(-5, 5))
+    @settings(max_examples=60)
+    def test_scaling_distributes(self, expr, a, b):
+        assert expr * (a + b) == expr * a + expr * b
+
+
+class TestEvaluate:
+    def test_evaluate(self):
+        expr = AffineExpr.var("i", 2) + AffineExpr.var("j", -1) + 7
+        assert expr.evaluate({"i": 3, "j": 4}) == 9
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            AffineExpr.var("i").evaluate({})
+
+    @given(
+        _random_expr(),
+        st.dictionaries(
+            st.sampled_from(("i", "j", "k")),
+            st.integers(-50, 50),
+            min_size=3,
+        ),
+    )
+    @settings(max_examples=60)
+    def test_evaluation_is_linear(self, expr, point):
+        doubled = {name: 2 * value for name, value in point.items()}
+        assert expr.evaluate(doubled) - expr.const == 2 * (
+            expr.evaluate(point) - expr.const
+        )
+
+
+class TestCoefficientsFor:
+    def test_order_respected(self):
+        expr = AffineExpr.var("j", 5) + AffineExpr.var("i", 2)
+        assert expr.coefficients_for(("i", "j")) == (2, 5)
+
+    def test_missing_from_order_raises(self):
+        with pytest.raises(ValueError):
+            AffineExpr.var("k").coefficients_for(("i", "j"))
+
+    def test_absent_variables_are_zero(self):
+        assert AffineExpr.constant(4).coefficients_for(("i", "j")) == (0, 0)
+
+
+class TestSubstitute:
+    def test_identity_substitution(self):
+        expr = AffineExpr.var("i") + 2
+        assert expr.substitute({}) == expr
+
+    def test_swap(self):
+        expr = AffineExpr.var("i") - AffineExpr.var("j")
+        swapped = expr.substitute(
+            {"i": AffineExpr.var("j"), "j": AffineExpr.var("i")}
+        )
+        assert swapped == AffineExpr.var("j") - AffineExpr.var("i")
+
+    def test_affine_substitution(self):
+        expr = AffineExpr.var("i", 2)
+        result = expr.substitute({"i": AffineExpr.var("u") + 3})
+        assert result == AffineExpr.var("u", 2) + 6
+
+
+class TestStr:
+    def test_simple(self):
+        assert str(AffineExpr.var("i") + AffineExpr.var("j")) == "i+j"
+
+    def test_negative_coefficient(self):
+        assert str(AffineExpr.var("i") - AffineExpr.var("j")) == "i-j"
+
+    def test_constant_zero(self):
+        assert str(AffineExpr.constant(0)) == "0"
+
+    def test_coefficient_rendering(self):
+        assert str(AffineExpr.var("i", 2) + 1) == "2*i+1"

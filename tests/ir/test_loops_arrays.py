@@ -1,0 +1,173 @@
+"""Unit tests for repro.ir.arrays, repro.ir.loops and repro.ir.program."""
+
+import pytest
+
+from repro.ir.arrays import ArrayDecl
+from repro.ir.expr import AffineExpr
+from repro.ir.loops import Loop, LoopNest
+from repro.ir.program import Program, make_program
+from repro.ir.reference import AccessKind, ArrayRef
+
+_i = AffineExpr.var("i")
+_j = AffineExpr.var("j")
+
+
+def _simple_nest(name="n", weight=1):
+    return LoopNest(
+        name,
+        (Loop("i", 0, 3), Loop("j", 0, 4)),
+        (
+            ArrayRef("A", (_i, _j), AccessKind.READ),
+            ArrayRef("B", (_j, _i), AccessKind.WRITE),
+        ),
+        weight,
+    )
+
+
+class TestArrayDecl:
+    def test_sizes(self):
+        decl = ArrayDecl("A", (10, 20), "float64")
+        assert decl.rank == 2
+        assert decl.element_count == 200
+        assert decl.byte_size == 1600
+
+    def test_index_box(self):
+        assert ArrayDecl("A", (4, 6)).index_box() == ((0, 3), (0, 5))
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("9lives", (4,))
+
+    def test_empty_extents(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("A", ())
+
+    def test_nonpositive_extent(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("A", (0,))
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("A", (4,), "bf16")
+
+    def test_str(self):
+        assert str(ArrayDecl("A", (2, 3))) == "float32 A[2][3]"
+
+
+class TestLoop:
+    def test_trip_count(self):
+        assert Loop("i", 0, 9).trip_count == 10
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            Loop("i", 5, 4)
+
+    def test_bad_name(self):
+        with pytest.raises(ValueError):
+            Loop("2i", 0, 4)
+
+
+class TestLoopNest:
+    def test_basic_properties(self):
+        nest = _simple_nest(weight=2)
+        assert nest.depth == 2
+        assert nest.index_order == ("i", "j")
+        assert nest.trip_count == 20
+        assert nest.estimated_cost == 2 * 20 * 2
+
+    def test_arrays_in_first_appearance_order(self):
+        assert _simple_nest().arrays() == ("A", "B")
+
+    def test_references_to(self):
+        nest = _simple_nest()
+        refs = nest.references_to("B")
+        assert len(refs) == 1 and refs[0].is_write
+
+    def test_iterations_lexicographic(self):
+        nest = LoopNest(
+            "t",
+            (Loop("i", 0, 1), Loop("j", 0, 1)),
+            (ArrayRef("A", (_i, _j)),),
+        )
+        assert list(nest.iterations()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_duplicate_index_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest(
+                "bad",
+                (Loop("i", 0, 1), Loop("i", 0, 1)),
+                (ArrayRef("A", (_i,)),),
+            )
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest("bad", (Loop("i", 0, 1),), ())
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            _simple_nest(weight=0)
+
+
+class TestProgram:
+    def _program(self):
+        return make_program(
+            "p",
+            [ArrayDecl("A", (8, 8)), ArrayDecl("B", (8, 8)), ArrayDecl("C", (4,))],
+            [_simple_nest()],
+        )
+
+    def test_lookup(self):
+        program = self._program()
+        assert program.array("A").rank == 2
+        with pytest.raises(KeyError):
+            program.array("missing")
+
+    def test_total_data_bytes(self):
+        assert self._program().total_data_bytes() == 8 * 8 * 4 * 2 + 4 * 4
+
+    def test_referenced_arrays_excludes_unused(self):
+        assert self._program().referenced_arrays() == ("A", "B")
+
+    def test_nests_referencing(self):
+        program = self._program()
+        assert len(program.nests_referencing("A")) == 1
+        assert program.nests_referencing("C") == ()
+
+    def test_duplicate_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            make_program(
+                "p", [ArrayDecl("A", (2,)), ArrayDecl("A", (2,))], [_simple_nest()]
+            )
+
+    def test_duplicate_nest_names_rejected(self):
+        with pytest.raises(ValueError):
+            make_program(
+                "p",
+                [ArrayDecl("A", (8, 8)), ArrayDecl("B", (8, 8))],
+                [_simple_nest("n"), _simple_nest("n")],
+            )
+
+
+class TestArrayRef:
+    def test_access_matrix_and_offset(self):
+        ref = ArrayRef("Q", (_i + _j + 1, _j - 2))
+        assert ref.access_matrix(("i", "j")) == ((1, 1), (0, 1))
+        assert ref.offset_vector() == (1, -2)
+
+    def test_element_at(self):
+        ref = ArrayRef("Q", (_i + _j, _j))
+        assert ref.element_at({"i": 2, "j": 3}) == (5, 3)
+
+    def test_substituted(self):
+        ref = ArrayRef("Q", (_i,))
+        new = ref.substituted({"i": _j + 1})
+        assert new.element_at({"j": 4}) == (5,)
+
+    def test_no_subscripts_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayRef("Q", ())
+
+    def test_unknown_variable_raises_in_matrix(self):
+        ref = ArrayRef("Q", (AffineExpr.var("k"),))
+        with pytest.raises(ValueError):
+            ref.access_matrix(("i", "j"))

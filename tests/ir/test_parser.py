@@ -1,0 +1,153 @@
+"""Unit tests for the mini-language parser."""
+
+import pytest
+
+from repro.ir.expr import AffineExpr
+from repro.ir.parser import ParseError, parse_program
+from repro.ir.reference import AccessKind
+
+FIGURE2 = """
+array Q1[512][512] : float32
+array Q2[512][512] : float32
+
+nest fig2 weight=1 {
+    for i1 = 0 .. 255 {
+        for i2 = 0 .. 255 {
+            Q1[i1+i2][i2] = Q2[i1+i2][i1]
+        }
+    }
+}
+"""
+
+
+class TestArrayDecls:
+    def test_basic_decl(self):
+        program = parse_program("array A[4][8]")
+        decl = program.array("A")
+        assert decl.extents == (4, 8)
+        assert decl.element_type == "float32"
+
+    def test_typed_decl(self):
+        program = parse_program("array A[4] : float64")
+        assert program.array("A").element_size == 8
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("array A[4] : quadruple")
+
+    def test_missing_dims_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("array A\narray B[2]")
+
+    def test_duplicate_decl_rejected(self):
+        with pytest.raises(ValueError):
+            parse_program("array A[2]\narray A[3]")
+
+
+class TestNests:
+    def test_figure2_shape(self):
+        program = parse_program(FIGURE2, name="fig2-program")
+        assert program.name == "fig2-program"
+        nest = program.nests[0]
+        assert nest.index_order == ("i1", "i2")
+        assert nest.loops[0].trip_count == 256
+        assert [ref.array for ref in nest.body] == ["Q2", "Q1"]
+
+    def test_figure2_access_matrices(self):
+        program = parse_program(FIGURE2)
+        nest = program.nests[0]
+        write = nest.body[-1]
+        assert write.kind is AccessKind.WRITE
+        assert write.access_matrix(("i1", "i2")) == ((1, 1), (0, 1))
+        read = nest.body[0]
+        assert read.kind is AccessKind.READ
+        assert read.access_matrix(("i1", "i2")) == ((1, 1), (1, 0))
+
+    def test_weight(self):
+        program = parse_program(
+            "array A[4]\nnest n weight=7 { for i = 0 .. 3 { load A[i] } }"
+        )
+        assert program.nests[0].weight == 7
+
+    def test_load_statement_lists(self):
+        program = parse_program(
+            "array A[8]\narray B[8]\n"
+            "nest n { for i = 0 .. 7 { load A[i], B[i] } }"
+        )
+        kinds = [ref.kind for ref in program.nests[0].body]
+        assert kinds == [AccessKind.READ, AccessKind.READ]
+
+    def test_rhs_operators(self):
+        program = parse_program(
+            "array A[8]\narray B[8]\narray C[8]\n"
+            "nest n { for i = 0 .. 7 { A[i] = B[i] * C[i] + A[i] } }"
+        )
+        body = program.nests[0].body
+        assert [ref.array for ref in body] == ["B", "C", "A", "A"]
+        assert body[-1].kind is AccessKind.WRITE
+
+    def test_imperfect_nesting_rejected(self):
+        source = """
+        array A[8][8]
+        nest bad {
+            for i = 0 .. 7 {
+                A[i][0] = A[i][1]
+                for j = 0 .. 7 { A[i][j] = A[i][j] }
+            }
+        }
+        """
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+    def test_negative_bounds(self):
+        program = parse_program(
+            "array A[16]\nnest n { for i = -3 .. 3 { load A[i+3] } }"
+        )
+        loop = program.nests[0].loops[0]
+        assert (loop.lower, loop.upper) == (-3, 3)
+
+
+class TestSubscripts:
+    def test_coefficient_syntax(self):
+        program = parse_program(
+            "array A[64][64]\nnest n { for i = 0 .. 9 { for j = 0 .. 9 "
+            "{ load A[2*i+j][i-1+3] } } }"
+        )
+        reference = program.nests[0].body[0]
+        assert reference.subscripts[0] == AffineExpr.from_mapping(
+            {"i": 2, "j": 1}
+        )
+        assert reference.subscripts[1] == AffineExpr.from_mapping({"i": 1}, 2)
+
+    def test_leading_minus(self):
+        program = parse_program(
+            "array A[32]\nnest n { for i = 0 .. 9 { load A[-i+20] } }"
+        )
+        subscript = program.nests[0].body[0].subscripts[0]
+        assert subscript.coefficient("i") == -1
+        assert subscript.const == 20
+
+    def test_missing_subscripts_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("array A[4]\nnest n { for i = 0 .. 3 { load A } }")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_program("array A[4] @")
+
+    def test_truncated_input(self):
+        with pytest.raises(ParseError, match="unexpected end"):
+            parse_program("array A[4]\nnest n { for i = 0 .. 3 {")
+
+    def test_error_mentions_line(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_program("array A[4]\nnest 17 {}")
+
+    def test_comments_ignored(self):
+        program = parse_program(
+            "# a comment\narray A[4] # trailing\n"
+            "nest n { for i = 0 .. 3 { load A[i] } }"
+        )
+        assert program.array("A").extents == (4,)

@@ -1,0 +1,118 @@
+"""Unit tests for repro.layout.hyperplane and repro.layout.layout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout.hyperplane import Hyperplane
+from repro.layout.layout import (
+    Layout,
+    antidiagonal,
+    column_major,
+    diagonal,
+    row_major,
+    standard_layouts,
+)
+
+
+class TestHyperplane:
+    def test_canonicalizes_on_construction(self):
+        assert Hyperplane((2, -2)) == Hyperplane((1, -1))
+
+    def test_paper_same_diagonal(self):
+        # Section 2: (5 3) and (7 5) share the (1 -1) diagonal.
+        plane = Hyperplane((1, -1))
+        assert plane.same_hyperplane((5, 3), (7, 5))
+
+    def test_paper_different_diagonals(self):
+        plane = Hyperplane((1, -1))
+        assert not plane.same_hyperplane((5, 3), (5, 4))
+
+    def test_row_major_constant_is_row_number(self):
+        plane = Hyperplane((1, 0))
+        assert plane.constant_for((7, 3)) == 7
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            Hyperplane((0, 0))
+
+    def test_str(self):
+        assert str(Hyperplane((1, -1))) == "(1  -1)"
+
+    @given(st.lists(st.integers(-9, 9), min_size=2, max_size=4))
+    @settings(max_examples=60)
+    def test_membership_invariant_under_scaling(self, vector):
+        if all(x == 0 for x in vector):
+            return
+        plane = Hyperplane(vector)
+        scaled = Hyperplane([3 * x for x in vector])
+        point_a = tuple(range(len(vector)))
+        point_b = tuple(reversed(range(len(vector))))
+        assert plane.same_hyperplane(point_a, point_b) == scaled.same_hyperplane(
+            point_a, point_b
+        )
+
+
+class TestLayout:
+    def test_row_major_2d(self):
+        layout = row_major(2)
+        assert layout.rows == ((1, 0),)
+        assert layout.colocated((3, 0), (3, 7))
+        assert not layout.colocated((3, 0), (4, 0))
+
+    def test_column_major_3d_matches_paper(self):
+        # Section 2's 3-D column-major example: Y1 = (0 0 1), Y2 = (0 1 0).
+        layout = column_major(3)
+        assert layout.rows == ((0, 0, 1), (0, 1, 0))
+        # Same column: indices equal except the first dimension.
+        assert layout.colocated((0, 4, 2), (9, 4, 2))
+        assert not layout.colocated((0, 4, 2), (0, 5, 2))
+
+    def test_diagonal(self):
+        layout = diagonal()
+        assert layout.colocated((5, 3), (7, 5))
+        assert not layout.colocated((5, 3), (5, 4))
+
+    def test_antidiagonal(self):
+        layout = antidiagonal()
+        assert layout.colocated((2, 3), (3, 2))
+
+    def test_one_dimensional_layout(self):
+        layout = Layout(1, [])
+        assert layout.rows == ()
+        assert layout.colocated((5,), (9,))  # trivially: no constraint rows
+
+    def test_wrong_row_count_rejected(self):
+        with pytest.raises(ValueError):
+            Layout(3, [(1, 0, 0)])
+
+    def test_dependent_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Layout(3, [(1, 0, 0), (2, 0, 0)])
+
+    def test_wrong_row_length_rejected(self):
+        with pytest.raises(ValueError):
+            Layout(2, [(1, 0, 0)])
+
+    def test_rows_canonicalized(self):
+        assert Layout(2, [(2, -2)]) == Layout(2, [(1, -1)])
+
+    def test_hashable_and_equal(self):
+        assert hash(row_major(2)) == hash(Layout(2, [(1, 0)]))
+
+    def test_describe_known_names(self):
+        assert "row-major" in row_major(2).describe()
+        assert "column-major" in column_major(2).describe()
+        assert "diagonal" in diagonal().describe()
+
+    def test_standard_layouts_2d_match_figure1(self):
+        layouts = standard_layouts(2)
+        vectors = {layout.rows[0] for layout in layouts}
+        assert vectors == {(1, 0), (0, 1), (1, -1), (1, 1)}
+
+    def test_standard_layouts_1d(self):
+        assert len(standard_layouts(1)) == 1
+
+    def test_standard_layouts_3d(self):
+        layouts = standard_layouts(3)
+        assert row_major(3) in layouts and column_major(3) in layouts

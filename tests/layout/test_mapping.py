@@ -1,0 +1,126 @@
+"""Unit tests for repro.layout.mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.arrays import ArrayDecl
+from repro.layout.layout import (
+    Layout,
+    antidiagonal,
+    column_major,
+    diagonal,
+    row_major,
+)
+from repro.layout.mapping import LayoutMapping
+
+
+class TestRowMajorMapping:
+    def test_identity_transform(self):
+        decl = ArrayDecl("A", (4, 6))
+        mapping = LayoutMapping.create(decl, row_major(2))
+        assert mapping.transform == ((1, 0), (0, 1))
+        assert mapping.extents == (4, 6)
+        assert mapping.strides == (6, 1)
+
+    def test_offsets_match_c_order(self):
+        decl = ArrayDecl("A", (4, 6))
+        mapping = LayoutMapping.create(decl, row_major(2))
+        assert mapping.offset_of((0, 0)) == 0
+        assert mapping.offset_of((0, 1)) == 1
+        assert mapping.offset_of((1, 0)) == 6
+        assert mapping.offset_of((3, 5)) == 23
+
+    def test_no_inflation(self):
+        decl = ArrayDecl("A", (8, 8))
+        assert LayoutMapping.create(decl, row_major(2)).inflation == 1.0
+
+
+class TestColumnMajorMapping:
+    def test_offsets_match_fortran_order(self):
+        decl = ArrayDecl("A", (4, 6))
+        mapping = LayoutMapping.create(decl, column_major(2))
+        assert mapping.offset_of((0, 0)) == 0
+        assert mapping.offset_of((1, 0)) == 1
+        assert mapping.offset_of((0, 1)) == 4
+
+    def test_no_inflation(self):
+        decl = ArrayDecl("A", (5, 9))
+        assert LayoutMapping.create(decl, column_major(2)).inflation == 1.0
+
+
+class TestDiagonalMapping:
+    def test_inflation_matches_footnote2(self):
+        # Diagonal storage of an NxN array needs a (2N-1) x N box.
+        decl = ArrayDecl("A", (8, 8))
+        mapping = LayoutMapping.create(decl, diagonal())
+        assert mapping.footprint_elements == (2 * 8 - 1) * 8
+        assert mapping.inflation == pytest.approx((2 * 8 - 1) / 8)
+
+    def test_same_diagonal_contiguity(self):
+        # Elements on one diagonal are consecutive in memory.
+        decl = ArrayDecl("A", (8, 8))
+        mapping = LayoutMapping.create(decl, diagonal())
+        step = abs(mapping.offset_of((6, 4)) - mapping.offset_of((5, 3)))
+        assert step == 1
+
+    def test_rank_mismatch_rejected(self):
+        decl = ArrayDecl("A", (8, 8, 8))
+        with pytest.raises(ValueError):
+            LayoutMapping.create(decl, diagonal())
+
+
+@st.composite
+def _decl_and_layout(draw):
+    rank = draw(st.integers(2, 3))
+    extents = tuple(draw(st.integers(2, 6)) for _ in range(rank))
+    decl = ArrayDecl("A", extents)
+    if rank == 2:
+        layout = draw(
+            st.sampled_from(
+                [row_major(2), column_major(2), diagonal(), antidiagonal(),
+                 Layout(2, [(1, -2)]), Layout(2, [(2, -1)])]
+            )
+        )
+    else:
+        layout = draw(st.sampled_from([row_major(3), column_major(3)]))
+    return decl, layout
+
+
+class TestMappingProperties:
+    @given(_decl_and_layout())
+    @settings(max_examples=60)
+    def test_injective_over_whole_array(self, decl_layout):
+        """Every element gets a distinct in-range offset (no aliasing)."""
+        decl, layout = decl_layout
+        mapping = LayoutMapping.create(decl, layout)
+        seen = set()
+        from itertools import product
+
+        for index in product(*[range(e) for e in decl.extents]):
+            offset = mapping.offset_of(index)
+            assert 0 <= offset < mapping.footprint_elements
+            assert offset not in seen
+            seen.add(offset)
+
+    @given(_decl_and_layout())
+    @settings(max_examples=40)
+    def test_colocated_elements_share_fast_axis(self, decl_layout):
+        """Elements the layout co-locates differ only in the last
+        transformed coordinate, i.e. they sit within one 'row' of the
+        transformed space."""
+        decl, layout = decl_layout
+        mapping = LayoutMapping.create(decl, layout)
+        from itertools import product
+
+        points = list(product(*[range(e) for e in decl.extents]))[:64]
+        for a in points[:16]:
+            for b in points[:16]:
+                if layout.colocated(a, b):
+                    offset_gap = abs(mapping.offset_of(a) - mapping.offset_of(b))
+                    assert offset_gap < mapping.extents[-1]
+
+    def test_byte_offset_scales_by_element_size(self):
+        decl = ArrayDecl("A", (4, 4), "float64")
+        mapping = LayoutMapping.create(decl, row_major(2))
+        assert mapping.byte_offset_of((1, 1)) == mapping.offset_of((1, 1)) * 8

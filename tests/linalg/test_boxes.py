@@ -1,0 +1,69 @@
+"""Unit tests for repro.linalg.boxes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.boxes import affine_range_over_box, box_corners
+from repro.linalg.vectors import dot
+
+
+class TestAffineRangeOverBox:
+    def test_positive_coefficients(self):
+        assert affine_range_over_box((1, 1), 0, ((0, 3), (0, 4))) == (0, 7)
+
+    def test_negative_coefficients(self):
+        assert affine_range_over_box((-1,), 0, ((2, 5),)) == (-5, -2)
+
+    def test_constant_only(self):
+        assert affine_range_over_box((), 7, ()) == (7, 7)
+
+    def test_diagonal_inflation(self):
+        # The diagonal layout's first coordinate i - j over an NxN array
+        # spans 2N - 1 values -- the data-space inflation of footnote 2.
+        low, high = affine_range_over_box((1, -1), 0, ((0, 9), (0, 9)))
+        assert (low, high) == (-9, 9)
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            affine_range_over_box((1,), 0, ((0, 1), (0, 1)))
+
+    def test_empty_box_raises(self):
+        with pytest.raises(ValueError):
+            affine_range_over_box((1,), 0, ((3, 2),))
+
+    @given(
+        st.integers(1, 4).flatmap(
+            lambda k: st.tuples(
+                st.lists(st.integers(-6, 6), min_size=k, max_size=k),
+                st.lists(
+                    st.tuples(st.integers(-5, 5), st.integers(0, 6)),
+                    min_size=k,
+                    max_size=k,
+                ),
+            )
+        ),
+        st.integers(-10, 10),
+    )
+    @settings(max_examples=80)
+    def test_matches_corner_enumeration(self, coeffs_and_spans, constant):
+        """The O(k) min/max equals brute-force corner evaluation."""
+        coefficients, spans = coeffs_and_spans
+        box = [(low, low + width) for (low, width) in spans]
+        low, high = affine_range_over_box(coefficients, constant, box)
+        corner_values = [
+            dot(coefficients, corner) + constant for corner in box_corners(box)
+        ]
+        assert low == min(corner_values)
+        assert high == max(corner_values)
+
+
+class TestBoxCorners:
+    def test_counts(self):
+        corners = list(box_corners(((0, 1), (3, 4))))
+        assert len(corners) == 4
+        assert (0, 3) in corners and (1, 4) in corners
+
+    def test_degenerate_dimension(self):
+        corners = set(box_corners(((2, 2),)))
+        assert corners == {(2,), (2, 2)[:1]}

@@ -1,0 +1,204 @@
+"""Unit tests for repro.linalg.matrices."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.matrices import (
+    copy_matrix,
+    determinant,
+    identity_matrix,
+    inverse_integer,
+    inverse_rational,
+    is_unimodular,
+    mat_equal,
+    mat_mul,
+    mat_transpose,
+    mat_vec,
+    rank,
+)
+
+square_matrices = st.integers(1, 4).flatmap(
+    lambda n: st.lists(
+        st.lists(st.integers(-6, 6), min_size=n, max_size=n),
+        min_size=n,
+        max_size=n,
+    )
+)
+
+
+class TestBasics:
+    def test_identity(self):
+        assert identity_matrix(2) == ((1, 0), (0, 1))
+
+    def test_copy_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            copy_matrix([[1, 2], [3]])
+
+    def test_transpose(self):
+        assert mat_transpose(((1, 2, 3), (4, 5, 6))) == ((1, 4), (2, 5), (3, 6))
+
+    def test_transpose_empty(self):
+        assert mat_transpose(()) == ()
+
+    def test_mat_equal(self):
+        assert mat_equal([[1, 2]], ((1, 2),))
+
+
+class TestMul:
+    def test_simple_product(self):
+        product = mat_mul(((1, 2), (3, 4)), ((0, 1), (1, 0)))
+        assert product == ((2, 1), (4, 3))
+
+    def test_identity_neutral(self):
+        matrix = ((3, -1), (2, 5))
+        assert mat_mul(matrix, identity_matrix(2)) == matrix
+        assert mat_mul(identity_matrix(2), matrix) == matrix
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            mat_mul(((1, 2),), ((1, 2),))
+
+    def test_mat_vec(self):
+        assert mat_vec(((1, 2), (3, 4)), (1, 1)) == (3, 7)
+
+    def test_mat_vec_mismatch(self):
+        with pytest.raises(ValueError):
+            mat_vec(((1, 2),), (1, 2, 3))
+
+
+class TestDeterminant:
+    def test_2x2(self):
+        assert determinant(((1, 2), (3, 4))) == -2
+
+    def test_singular(self):
+        assert determinant(((1, 2), (2, 4))) == 0
+
+    def test_3x3(self):
+        assert determinant(((2, 0, 0), (0, 3, 0), (0, 0, 4))) == 24
+
+    def test_permutation_sign(self):
+        assert determinant(((0, 1), (1, 0))) == -1
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            determinant(((1, 2, 3),))
+
+    def test_empty_matrix(self):
+        assert determinant(()) == 1
+
+    def test_needs_pivot_swap(self):
+        assert determinant(((0, 2), (3, 0))) == -6
+
+    @given(square_matrices)
+    @settings(max_examples=60)
+    def test_matches_fraction_elimination(self, rows):
+        """Bareiss agrees with straightforward rational elimination."""
+        n = len(rows)
+        work = [[Fraction(x) for x in row] for row in rows]
+        det = Fraction(1)
+        for col in range(n):
+            pivot_row = next(
+                (r for r in range(col, n) if work[r][col] != 0), None
+            )
+            if pivot_row is None:
+                det = Fraction(0)
+                break
+            if pivot_row != col:
+                work[col], work[pivot_row] = work[pivot_row], work[col]
+                det = -det
+            det *= work[col][col]
+            pivot = work[col][col]
+            for r in range(col + 1, n):
+                factor = work[r][col] / pivot
+                work[r] = [a - factor * b for a, b in zip(work[r], work[col])]
+        assert determinant(rows) == det
+
+    @given(square_matrices, square_matrices)
+    @settings(max_examples=40)
+    def test_multiplicative(self, left, right):
+        if len(left) != len(right):
+            return
+        assert determinant(mat_mul(left, right)) == determinant(
+            left
+        ) * determinant(right)
+
+
+class TestRank:
+    def test_full_rank(self):
+        assert rank(((1, 0), (0, 1))) == 2
+
+    def test_dependent_rows(self):
+        assert rank(((1, 2), (2, 4))) == 1
+
+    def test_zero_matrix(self):
+        assert rank(((0, 0), (0, 0))) == 0
+
+    def test_wide_matrix(self):
+        assert rank(((1, 0, 1), (0, 1, 1))) == 2
+
+    def test_tall_matrix(self):
+        assert rank(((1, 0), (0, 1), (1, 1))) == 2
+
+    def test_empty(self):
+        assert rank(()) == 0
+
+
+class TestInverse:
+    def test_inverse_rational(self):
+        inverse = inverse_rational(((1, 2), (3, 4)))
+        assert inverse == (
+            (Fraction(-2), Fraction(1)),
+            (Fraction(3, 2), Fraction(-1, 2)),
+        )
+
+    def test_singular_raises(self):
+        with pytest.raises(ValueError):
+            inverse_rational(((1, 2), (2, 4)))
+
+    def test_inverse_integer_unimodular(self):
+        matrix = ((1, 1), (0, 1))
+        assert inverse_integer(matrix) == ((1, -1), (0, 1))
+
+    def test_inverse_integer_rejects_non_unimodular(self):
+        with pytest.raises(ValueError):
+            inverse_integer(((2, 0), (0, 1)))
+
+    @given(square_matrices)
+    @settings(max_examples=40)
+    def test_inverse_roundtrip(self, rows):
+        if determinant(rows) == 0:
+            return
+        inverse = inverse_rational(rows)
+        n = len(rows)
+        product = tuple(
+            tuple(
+                sum(Fraction(rows[i][k]) * inverse[k][j] for k in range(n))
+                for j in range(n)
+            )
+            for i in range(n)
+        )
+        expected = tuple(
+            tuple(Fraction(1 if i == j else 0) for j in range(n))
+            for i in range(n)
+        )
+        assert product == expected
+
+
+class TestIsUnimodular:
+    def test_identity(self):
+        assert is_unimodular(identity_matrix(3))
+
+    def test_interchange(self):
+        assert is_unimodular(((0, 1), (1, 0)))
+
+    def test_skew(self):
+        assert is_unimodular(((1, 5), (0, 1)))
+
+    def test_scaling_not_unimodular(self):
+        assert not is_unimodular(((2, 0), (0, 1)))
+
+    def test_non_square(self):
+        assert not is_unimodular(((1, 0, 0), (0, 1, 0)))

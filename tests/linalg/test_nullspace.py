@@ -1,0 +1,90 @@
+"""Unit tests for repro.linalg.nullspace."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.matrices import mat_vec, mat_transpose, rank
+from repro.linalg.nullspace import left_nullspace_basis, nullspace_basis
+from repro.linalg.vectors import dot, gcd_many, lex_positive
+
+
+class TestNullspaceBasis:
+    def test_full_rank_square(self):
+        assert nullspace_basis(((1, 0), (0, 1))) == []
+
+    def test_single_row(self):
+        # y . (1 1) = 0 over 2-D: the diagonal hyperplane family.
+        basis = nullspace_basis(((1, 1),))
+        assert len(basis) == 1
+        assert dot((1, 1), basis[0]) == 0
+
+    def test_zero_rows_gives_standard_basis(self):
+        basis = nullspace_basis(((0, 0, 0),))
+        assert len(basis) == 3
+
+    def test_empty_matrix_all_space(self):
+        # No constraints: null space is everything.
+        basis = nullspace_basis(())
+        assert basis == []
+
+    def test_known_kernel(self):
+        # Kernel of [[1, 2, 3]] has dimension 2.
+        basis = nullspace_basis(((1, 2, 3),))
+        assert len(basis) == 2
+        for vector in basis:
+            assert dot((1, 2, 3), vector) == 0
+
+    def test_basis_vectors_canonical(self):
+        basis = nullspace_basis(((3, 6),))
+        assert len(basis) == 1
+        vector = basis[0]
+        assert gcd_many(vector) == 1
+        assert lex_positive(vector)
+
+    @given(
+        st.integers(1, 3).flatmap(
+            lambda rows: st.integers(1, 4).flatmap(
+                lambda cols: st.lists(
+                    st.lists(st.integers(-5, 5), min_size=cols, max_size=cols),
+                    min_size=rows,
+                    max_size=rows,
+                )
+            )
+        )
+    )
+    @settings(max_examples=80)
+    def test_rank_nullity_and_membership(self, rows):
+        """rank + nullity == cols, and A v == 0 for every basis vector."""
+        cols = len(rows[0])
+        basis = nullspace_basis(rows)
+        assert rank(rows) + len(basis) == cols
+        for vector in basis:
+            assert all(component == 0 for component in mat_vec(rows, vector))
+        # Basis must be independent.
+        if basis:
+            assert rank(basis) == len(basis)
+
+
+class TestLeftNullspace:
+    def test_paper_q1_delta(self):
+        # Figure 2, array Q1: delta = (1 1); the hyperplane vectors with
+        # y . delta = 0 are spanned by (1 -1) -- the diagonal layout.
+        basis = left_nullspace_basis(mat_transpose(((1, 1),)))
+        assert basis == [(1, -1)]
+
+    def test_paper_q2_delta(self):
+        # Figure 2, array Q2: delta = (1 0) -> layout (0 1), column-major.
+        basis = left_nullspace_basis(mat_transpose(((1, 0),)))
+        assert basis == [(0, 1)]
+
+    @given(st.lists(st.integers(-6, 6), min_size=2, max_size=4))
+    @settings(max_examples=60)
+    def test_left_nullspace_annihilates_columns(self, column):
+        if all(c == 0 for c in column):
+            return
+        matrix = tuple((c,) for c in column)  # k x 1 column matrix
+        basis = left_nullspace_basis(matrix)
+        assert len(basis) == len(column) - 1
+        for row in basis:
+            assert dot(row, column) == 0

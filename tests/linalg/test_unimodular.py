@@ -1,0 +1,116 @@
+"""Unit tests for repro.linalg.unimodular."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.matrices import determinant, mat_mul, rank
+from repro.linalg.unimodular import (
+    complete_to_nonsingular,
+    complete_to_unimodular,
+    hermite_normal_form,
+)
+
+
+class TestHermiteNormalForm:
+    def test_identity_fixed(self):
+        identity = ((1, 0), (0, 1))
+        assert hermite_normal_form(identity) == identity
+
+    def test_gcd_in_pivot(self):
+        hnf = hermite_normal_form(((4,), (6,)))
+        assert hnf == ((2,), (0,))
+
+    def test_preserves_rank(self):
+        matrix = ((2, 4, 4), (-6, 6, 12), (10, 4, 16))
+        assert rank(hermite_normal_form(matrix)) == rank(matrix)
+
+    def test_pivots_nonnegative(self):
+        hnf = hermite_normal_form(((-3, 1), (1, -2)))
+        pivots = [next((x for x in row if x != 0), 0) for row in hnf]
+        assert all(p >= 0 for p in pivots)
+
+    def test_zero_rows_sink(self):
+        hnf = hermite_normal_form(((1, 2), (2, 4)))
+        assert hnf[1] == (0, 0)
+
+    @given(
+        st.integers(1, 3).flatmap(
+            lambda n: st.lists(
+                st.lists(st.integers(-8, 8), min_size=n, max_size=n),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    @settings(max_examples=60)
+    def test_determinant_magnitude_preserved(self, rows):
+        """|det| is invariant under unimodular row operations."""
+        assert abs(determinant(hermite_normal_form(rows))) == abs(
+            determinant(rows)
+        )
+
+
+class TestCompleteToNonsingular:
+    def test_empty_rows_give_identity_like(self):
+        completed = complete_to_nonsingular([], 3)
+        assert determinant(completed) != 0
+
+    def test_keeps_given_rows_first(self):
+        completed = complete_to_nonsingular([(1, -1)], 2)
+        assert completed[0] == (1, -1)
+        assert determinant(completed) != 0
+
+    def test_rejects_dependent_rows(self):
+        with pytest.raises(ValueError):
+            complete_to_nonsingular([(1, 1), (2, 2)], 2)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            complete_to_nonsingular([(1, 0, 0)], 2)
+
+    def test_full_rows_returned_as_is(self):
+        rows = [(0, 1), (1, 0)]
+        assert complete_to_nonsingular(rows, 2) == ((0, 1), (1, 0))
+
+    @given(st.lists(st.integers(-5, 5), min_size=2, max_size=4))
+    @settings(max_examples=60)
+    def test_single_row_completion(self, row):
+        if all(x == 0 for x in row):
+            return
+        size = len(row)
+        completed = complete_to_nonsingular([tuple(row)], size)
+        assert completed[0] == tuple(row)
+        assert determinant(completed) != 0
+
+
+class TestCompleteToUnimodular:
+    def test_diagonal_layout_completion(self):
+        # The (1 -1) diagonal hyperplane completes to a unimodular
+        # data transformation.
+        completed = complete_to_unimodular([(1, -1)], 2)
+        assert completed[0] == (1, -1)
+        assert determinant(completed) in (1, -1)
+
+    def test_column_major_completion(self):
+        completed = complete_to_unimodular([(0, 1)], 2)
+        assert determinant(completed) in (1, -1)
+
+    def test_three_dimensional(self):
+        completed = complete_to_unimodular([(1, 0, 0), (0, 1, 0)], 3)
+        assert determinant(completed) in (1, -1)
+
+    @given(st.lists(st.integers(-4, 4), min_size=2, max_size=4))
+    @settings(max_examples=80)
+    def test_primitive_rows_usually_unimodular(self, row):
+        """For primitive rows the completion is nonsingular and keeps
+        the row; unimodularity holds whenever the search succeeds."""
+        from repro.linalg.vectors import gcd_many
+
+        if all(x == 0 for x in row):
+            return
+        divisor = gcd_many(row)
+        primitive = tuple(x // divisor for x in row)
+        completed = complete_to_unimodular([primitive], len(primitive))
+        assert completed[0] == primitive
+        assert determinant(completed) != 0

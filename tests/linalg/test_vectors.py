@@ -1,0 +1,157 @@
+"""Unit tests for repro.linalg.vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linalg.vectors import (
+    canonical_hyperplane_vector,
+    dot,
+    gcd_many,
+    is_zero_vector,
+    lex_positive,
+    normalize_primitive,
+    vec_add,
+    vec_scale,
+    vec_sub,
+)
+
+
+class TestGcdMany:
+    def test_empty_is_zero(self):
+        assert gcd_many([]) == 0
+
+    def test_single_value(self):
+        assert gcd_many([6]) == 6
+
+    def test_negative_values(self):
+        assert gcd_many([-4, 6]) == 2
+
+    def test_coprime(self):
+        assert gcd_many([3, 5, 7]) == 1
+
+    def test_all_zero(self):
+        assert gcd_many([0, 0]) == 0
+
+    def test_zero_and_value(self):
+        assert gcd_many([0, 9]) == 9
+
+
+class TestIsZeroVector:
+    def test_zero(self):
+        assert is_zero_vector((0, 0, 0))
+
+    def test_nonzero(self):
+        assert not is_zero_vector((0, 1, 0))
+
+    def test_empty(self):
+        assert is_zero_vector(())
+
+
+class TestNormalizePrimitive:
+    def test_scales_down(self):
+        assert normalize_primitive((2, -2)) == (1, -1)
+
+    def test_already_primitive(self):
+        assert normalize_primitive((1, -2)) == (1, -2)
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            normalize_primitive((0, 0))
+
+    def test_keeps_sign(self):
+        assert normalize_primitive((-2, 4)) == (-1, 2)
+
+
+class TestLexPositive:
+    def test_positive_leading(self):
+        assert lex_positive((1, -5))
+
+    def test_negative_leading(self):
+        assert not lex_positive((-1, 5))
+
+    def test_zero_then_positive(self):
+        assert lex_positive((0, 3))
+
+    def test_zero_vector(self):
+        assert not lex_positive((0, 0))
+
+
+class TestCanonicalHyperplaneVector:
+    def test_paper_footnote2_example(self):
+        # Footnote 2: (2 -2) names the same diagonal family as (1 -1).
+        assert canonical_hyperplane_vector((2, -2)) == (1, -1)
+
+    def test_sign_flip(self):
+        assert canonical_hyperplane_vector((0, -3)) == (0, 1)
+
+    def test_idempotent(self):
+        vector = canonical_hyperplane_vector((6, -4))
+        assert canonical_hyperplane_vector(vector) == vector
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            canonical_hyperplane_vector((0, 0, 0))
+
+    @given(
+        st.lists(st.integers(-50, 50), min_size=1, max_size=5),
+        st.integers(min_value=-7, max_value=7).filter(lambda k: k != 0),
+    )
+    def test_scale_invariance(self, vector, factor):
+        """Canonical form is invariant under nonzero integer scaling."""
+        if all(component == 0 for component in vector):
+            return
+        scaled = [component * factor for component in vector]
+        assert canonical_hyperplane_vector(vector) == canonical_hyperplane_vector(
+            scaled
+        )
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=5))
+    def test_canonical_is_primitive_and_lex_positive(self, vector):
+        if all(component == 0 for component in vector):
+            return
+        canonical = canonical_hyperplane_vector(vector)
+        assert gcd_many(canonical) == 1
+        assert lex_positive(canonical)
+
+
+class TestDot:
+    def test_paper_point_multiplication(self):
+        # Section 2: (1 -1) . (5 3) == (1 -1) . (7 5) -- same diagonal.
+        assert dot((1, -1), (5, 3)) == dot((1, -1), (7, 5))
+
+    def test_different_diagonals(self):
+        assert dot((1, -1), (5, 3)) != dot((1, -1), (5, 4))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            dot((1, 2), (1, 2, 3))
+
+    @given(
+        st.lists(st.integers(-100, 100), min_size=1, max_size=6),
+        st.lists(st.integers(-100, 100), min_size=1, max_size=6),
+    )
+    def test_commutative(self, left, right):
+        if len(left) != len(right):
+            left = left[: len(right)]
+            right = right[: len(left)]
+        assert dot(left, right) == dot(right, left)
+
+
+class TestVectorArithmetic:
+    def test_add(self):
+        assert vec_add((1, 2), (3, -5)) == (4, -3)
+
+    def test_sub(self):
+        assert vec_sub((1, 2), (3, -5)) == (-2, 7)
+
+    def test_scale(self):
+        assert vec_scale((1, -2, 0), 3) == (3, -6, 0)
+
+    def test_add_length_mismatch(self):
+        with pytest.raises(ValueError):
+            vec_add((1,), (1, 2))
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=6))
+    def test_sub_self_is_zero(self, vector):
+        assert is_zero_vector(vec_sub(vector, vector))

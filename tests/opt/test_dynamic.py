@@ -1,0 +1,116 @@
+"""Tests for the dynamic-layout planner (paper future work #2)."""
+
+import pytest
+
+from repro.ir.parser import parse_program
+from repro.layout.layout import column_major, row_major
+from repro.opt.dynamic import DynamicLayoutPlanner
+
+#: A program whose access pattern for B flips between nests: a static
+#: layout must lose in one of them, a dynamic layout can redistribute.
+FLIPPING = """
+array B[256][256]
+array OUTA[256][256]
+array OUTB[256][256]
+nest rows weight=8 {
+    for i = 0 .. 255 { for j = 0 .. 255 { OUTA[i][j] = B[i][j] } }
+}
+nest cols weight=8 {
+    for i = 0 .. 255 { for j = 0 .. 255 { OUTB[i][j] = B[j][i] } }
+}
+"""
+
+#: Here B is accessed the same way everywhere: dynamic must not change.
+STABLE = """
+array B[64][64]
+array OUT[64][64]
+nest one {
+    for i = 0 .. 63 { for j = 0 .. 63 { OUT[i][j] = B[i][j] } }
+}
+nest two {
+    for i = 0 .. 63 { for j = 0 .. 63 { OUT[j][i] = B[i][j] } }
+}
+"""
+
+
+class TestDynamicPlanner:
+    def test_flipping_program_changes_layout(self):
+        program = parse_program(FLIPPING)
+        plan = DynamicLayoutPlanner().plan(program, "B")
+        assert plan.changes == 1
+        schedule = dict(plan.schedule)
+        assert schedule["rows"] == row_major(2)
+        assert schedule["cols"] == column_major(2)
+
+    def test_flipping_improves_over_static(self):
+        program = parse_program(FLIPPING)
+        plan = DynamicLayoutPlanner().plan(program, "B")
+        assert plan.total_cost < plan.static_cost
+        assert plan.improvement > 0
+
+    def test_stable_program_keeps_layout(self):
+        program = parse_program(STABLE)
+        plan = DynamicLayoutPlanner().plan(program, "B")
+        assert plan.changes == 0
+        assert plan.total_cost == pytest.approx(plan.static_cost)
+
+    def test_expensive_redistribution_blocks_changes(self):
+        program = parse_program(FLIPPING)
+        planner = DynamicLayoutPlanner(
+            redistribution_cost_per_element=10_000.0
+        )
+        plan = planner.plan(program, "B")
+        assert plan.changes == 0
+
+    def test_free_redistribution_always_changes_when_useful(self):
+        program = parse_program(FLIPPING)
+        planner = DynamicLayoutPlanner(redistribution_cost_per_element=0.0)
+        plan = planner.plan(program, "B")
+        assert plan.changes == 1
+
+    def test_negative_redistribution_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicLayoutPlanner(redistribution_cost_per_element=-1.0)
+
+    def test_unreferenced_array_rejected(self):
+        program = parse_program(FLIPPING + "\narray Ghost[8][8]\n")
+        with pytest.raises(ValueError):
+            DynamicLayoutPlanner().plan(program, "Ghost")
+
+    def test_plan_all_covers_referenced_arrays(self):
+        program = parse_program(FLIPPING)
+        plans = DynamicLayoutPlanner().plan_all(program)
+        assert set(plans) == {"B", "OUTA", "OUTB"}
+
+    def test_schedule_covers_exactly_referencing_nests(self):
+        program = parse_program(FLIPPING)
+        plan = DynamicLayoutPlanner().plan(program, "OUTA")
+        assert [name for name, _ in plan.schedule] == ["rows"]
+
+    def test_dp_is_optimal_vs_bruteforce(self):
+        """Exhaustive check on a small instance: the DP cost equals the
+        best cost over all layout sequences."""
+        from itertools import product
+
+        from repro.layout.candidates import candidate_layouts_for_array
+
+        program = parse_program(STABLE)
+        planner = DynamicLayoutPlanner()
+        plan = planner.plan(program, "B")
+        nests = program.nests_referencing("B")
+        candidates = candidate_layouts_for_array(program, "B")
+        decl = program.array("B")
+        change_cost = 2.0 * decl.element_count
+        best = float("inf")
+        for sequence in product(range(len(candidates)), repeat=len(nests)):
+            cost = sum(
+                planner.access_cost(program, nest, "B", candidates[index])
+                for nest, index in zip(nests, sequence)
+            )
+            cost += sum(
+                change_cost
+                for a, b in zip(sequence, sequence[1:])
+                if a != b
+            )
+            best = min(best, cost)
+        assert plan.total_cost == pytest.approx(best)

@@ -1,0 +1,118 @@
+"""Tests for the optimizer façade and the propagation heuristic."""
+
+import pytest
+
+from repro.csp.enhanced import EnhancementConfig
+from repro.ir.parser import parse_program
+from repro.layout.layout import column_major, diagonal, row_major
+from repro.opt.heuristic import HeuristicOptimizer
+from repro.opt.optimizer import LayoutOptimizer, select_transforms
+from tests.opt.test_network_builder import FIGURE2, TWO_NESTS
+
+
+class TestLayoutOptimizer:
+    @pytest.mark.parametrize("scheme", ["base", "enhanced", "cbj", "forward-checking"])
+    def test_figure2_layouts(self, scheme):
+        """Every complete scheme reproduces the paper's Figure 2 answer
+        (or the interchanged variant -- both satisfy the network)."""
+        program = parse_program(FIGURE2)
+        outcome = LayoutOptimizer(scheme=scheme, seed=4).optimize(program)
+        assert outcome.exact
+        pair = (outcome.layouts["Q1"], outcome.layouts["Q2"])
+        assert pair in (
+            (diagonal(), column_major(2)),
+            (column_major(2), diagonal()),
+        )
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            LayoutOptimizer(scheme="quantum")
+
+    def test_enhancement_config_as_scheme(self):
+        program = parse_program(FIGURE2)
+        config = EnhancementConfig(True, False, True)
+        outcome = LayoutOptimizer(scheme=config).optimize(program)
+        assert outcome.scheme == "var+bj"
+        assert outcome.exact
+
+    def test_every_declared_array_gets_a_layout(self):
+        source = FIGURE2 + "\narray Unused[16][16]\n"
+        program = parse_program(source)
+        outcome = LayoutOptimizer().optimize(program)
+        assert outcome.layouts["Unused"] == row_major(2)
+
+    def test_outcome_metadata(self):
+        program = parse_program(TWO_NESTS)
+        outcome = LayoutOptimizer(scheme="enhanced").optimize(program)
+        assert outcome.program == program.name
+        assert outcome.solve_seconds >= 0
+        assert outcome.network.domain_size > 0
+
+    def test_solution_satisfies_network(self):
+        program = parse_program(TWO_NESTS)
+        outcome = LayoutOptimizer(scheme="base", seed=9).optimize(program)
+        referenced = {
+            name: outcome.layouts[name]
+            for name in outcome.network.network.variables
+        }
+        assert outcome.network.network.is_solution(referenced)
+
+
+class TestHeuristicOptimizer:
+    def test_figure2(self):
+        program = parse_program(FIGURE2)
+        outcome = HeuristicOptimizer().optimize(program)
+        pair = (outcome.layouts["Q1"], outcome.layouts["Q2"])
+        assert pair in (
+            (diagonal(), column_major(2)),
+            (column_major(2), diagonal()),
+        )
+
+    def test_costly_nest_processed_first(self):
+        program = parse_program(TWO_NESTS)
+        outcome = HeuristicOptimizer().optimize(program)
+        assert outcome.nest_order[0] == "first"  # weight=4 dominates
+
+    def test_propagation_fixes_later_nests(self):
+        """B's layout is decided by the first (costly) nest and kept;
+        the second nest can still pick C's layout freely."""
+        program = parse_program(TWO_NESTS)
+        outcome = HeuristicOptimizer().optimize(program)
+        # first nest: A[i][j] = B[j][i] with identity wants A row-major,
+        # B column-major (or the interchange-flipped variant).
+        layouts = outcome.layouts
+        assert {layouts["A"], layouts["B"]} <= {
+            row_major(2),
+            column_major(2),
+        }
+        assert layouts["C"] in (row_major(2), column_major(2))
+
+    def test_all_arrays_assigned(self):
+        program = parse_program(TWO_NESTS)
+        outcome = HeuristicOptimizer().optimize(program)
+        assert set(outcome.layouts) == {"A", "B", "C"}
+
+    def test_transform_recorded_per_nest(self):
+        program = parse_program(TWO_NESTS)
+        outcome = HeuristicOptimizer().optimize(program)
+        assert set(outcome.transforms) == {"first", "second"}
+
+
+class TestSelectTransforms:
+    def test_identity_when_layouts_match_original_order(self):
+        program = parse_program(FIGURE2)
+        layouts = {"Q1": diagonal(), "Q2": column_major(2)}
+        transforms = select_transforms(program, layouts)
+        assert transforms["fig2"].is_identity
+
+    def test_interchange_when_layouts_flipped(self):
+        program = parse_program(FIGURE2)
+        layouts = {"Q1": column_major(2), "Q2": diagonal()}
+        transforms = select_transforms(program, layouts)
+        assert transforms["fig2"].name == "permute(1,0)"
+
+    def test_every_nest_gets_a_transform(self):
+        program = parse_program(TWO_NESTS)
+        layouts = LayoutOptimizer().optimize(program).layouts
+        transforms = select_transforms(program, layouts)
+        assert set(transforms) == {"first", "second"}

@@ -1,0 +1,102 @@
+"""Unit tests for address mapping and compiled access functions."""
+
+import pytest
+
+from repro.ir.arrays import ArrayDecl
+from repro.ir.expr import AffineExpr
+from repro.ir.loops import Loop, LoopNest
+from repro.ir.program import Program
+from repro.ir.reference import AccessKind, ArrayRef
+from repro.layout.layout import column_major, diagonal, row_major
+from repro.simul.addressmap import AddressMap
+from repro.simul.tracegen import compile_nest_accesses
+
+_i = AffineExpr.var("i")
+_j = AffineExpr.var("j")
+
+
+def _program():
+    arrays = (ArrayDecl("A", (8, 8)), ArrayDecl("B", (8, 8)))
+    nest = LoopNest(
+        "n",
+        (Loop("i", 0, 7), Loop("j", 0, 7)),
+        (
+            ArrayRef("B", (_j, _i), AccessKind.READ),
+            ArrayRef("A", (_i, _j), AccessKind.WRITE),
+        ),
+    )
+    return Program("p", arrays, (nest,))
+
+
+class TestAddressMap:
+    def test_bases_aligned_and_disjoint(self):
+        program = _program()
+        layouts = {"A": row_major(2), "B": row_major(2)}
+        amap = AddressMap(program, layouts, base=0x1000, alignment=256)
+        assert amap.base_of("A") == 0x1000
+        assert amap.base_of("B") % 256 == 0
+        assert amap.base_of("B") >= amap.base_of("A") + 8 * 8 * 4
+
+    def test_missing_layout_rejected(self):
+        with pytest.raises(KeyError):
+            AddressMap(_program(), {"A": row_major(2)})
+
+    def test_bad_alignment_rejected(self):
+        layouts = {"A": row_major(2), "B": row_major(2)}
+        with pytest.raises(ValueError):
+            AddressMap(_program(), layouts, alignment=3)
+
+    def test_diagonal_layout_inflates_footprint(self):
+        program = _program()
+        plain = AddressMap(
+            program, {"A": row_major(2), "B": row_major(2)}
+        ).total_footprint_bytes()
+        inflated = AddressMap(
+            program, {"A": diagonal(), "B": row_major(2)}
+        ).total_footprint_bytes()
+        assert inflated > plain
+
+    def test_address_of_matches_mapping(self):
+        program = _program()
+        layouts = {"A": row_major(2), "B": column_major(2)}
+        amap = AddressMap(program, layouts)
+        assert amap.address_of("A", (1, 2)) == amap.base_of("A") + (8 + 2) * 4
+        assert amap.address_of("B", (1, 2)) == amap.base_of("B") + (2 * 8 + 1) * 4
+
+
+class TestCompiledAccesses:
+    @pytest.mark.parametrize(
+        "layout_a,layout_b",
+        [
+            (row_major(2), row_major(2)),
+            (column_major(2), row_major(2)),
+            (diagonal(), column_major(2)),
+        ],
+    )
+    def test_linear_function_matches_direct_computation(self, layout_a, layout_b):
+        """The folded coefficients must reproduce base + byte_offset
+        for every iteration point and reference."""
+        program = _program()
+        layouts = {"A": layout_a, "B": layout_b}
+        amap = AddressMap(program, layouts)
+        nest = program.nests[0]
+        plan = compile_nest_accesses(nest, amap, code_base=0)
+        for point in nest.iterations():
+            values = dict(zip(nest.index_order, point))
+            for reference, access in zip(nest.body, plan.accesses):
+                element = reference.element_at(values)
+                expected = amap.address_of(reference.array, element)
+                assert access.address_at(point) == expected
+
+    def test_plan_metadata(self):
+        program = _program()
+        amap = AddressMap(program, {"A": row_major(2), "B": row_major(2)})
+        plan = compile_nest_accesses(
+            program.nests[0], amap, code_base=0x400000,
+            ops_per_reference=4, loop_overhead_ops=3,
+        )
+        assert plan.code_base == 0x400000
+        assert plan.ops_per_iteration == 3 + 4 * 2
+        assert plan.accesses[0].is_write is False
+        assert plan.accesses[1].is_write is True
+        assert plan.accesses[0].size == 4

@@ -1,0 +1,127 @@
+"""Unit tests for repro.transform.legality and repro.transform.catalog."""
+
+import pytest
+
+from repro.ir.dependence import analyze_nest_dependences
+from repro.ir.expr import AffineExpr
+from repro.ir.loops import Loop, LoopNest
+from repro.ir.reference import AccessKind, ArrayRef
+from repro.transform.catalog import candidate_transforms, legal_transforms
+from repro.transform.legality import is_legal, transformed_distances
+from repro.transform.unimodular_loop import (
+    identity_transform,
+    permutation_transform,
+    reversal_transform,
+)
+
+_i = AffineExpr.var("i")
+_j = AffineExpr.var("j")
+
+
+def _nest(body):
+    return LoopNest("n", (Loop("i", 0, 9), Loop("j", 0, 9)), tuple(body))
+
+
+class TestLegality:
+    def test_identity_always_legal(self):
+        body = [
+            ArrayRef("A", (_j, _i), AccessKind.READ),
+            ArrayRef("A", (_i, _j), AccessKind.WRITE),
+        ]
+        info = analyze_nest_dependences(_nest(body))
+        assert info.has_unknown
+        assert is_legal(info, identity_transform(2))
+
+    def test_unknown_blocks_everything_else(self):
+        body = [
+            ArrayRef("A", (_j, _i), AccessKind.READ),
+            ArrayRef("A", (_i, _j), AccessKind.WRITE),
+        ]
+        info = analyze_nest_dependences(_nest(body))
+        assert not is_legal(info, permutation_transform((1, 0)))
+
+    def test_interchange_legal_for_fully_positive_distance(self):
+        # Distance (1, 1): stays lex-positive after interchange.
+        body = [
+            ArrayRef("A", (_i - 1, _j - 1), AccessKind.READ),
+            ArrayRef("A", (_i, _j), AccessKind.WRITE),
+        ]
+        info = analyze_nest_dependences(_nest(body))
+        assert info.distance_vectors() == ((1, 1),)
+        assert is_legal(info, permutation_transform((1, 0)))
+
+    def test_interchange_illegal_for_anti_distance(self):
+        # Distance (1, -1): interchange makes it (-1, 1) -- illegal.
+        body = [
+            ArrayRef("A", (_i - 1, _j + 1), AccessKind.READ),
+            ArrayRef("A", (_i, _j), AccessKind.WRITE),
+        ]
+        info = analyze_nest_dependences(_nest(body))
+        assert info.distance_vectors() == ((1, -1),)
+        assert not is_legal(info, permutation_transform((1, 0)))
+
+    def test_reversal_illegal_for_carried_dependence(self):
+        body = [
+            ArrayRef("A", (_i, _j - 1), AccessKind.READ),
+            ArrayRef("A", (_i, _j), AccessKind.WRITE),
+        ]
+        info = analyze_nest_dependences(_nest(body))
+        assert not is_legal(info, reversal_transform(2, 1))
+
+    def test_transformed_distances(self):
+        body = [
+            ArrayRef("A", (_i - 1, _j - 2), AccessKind.READ),
+            ArrayRef("A", (_i, _j), AccessKind.WRITE),
+        ]
+        info = analyze_nest_dependences(_nest(body))
+        distances = transformed_distances(info, permutation_transform((1, 0)))
+        assert distances == ((2, 1),)
+
+
+class TestCatalog:
+    def test_identity_comes_first(self):
+        transforms = candidate_transforms(2)
+        assert transforms[0].is_identity
+
+    def test_permutation_count(self):
+        assert len(candidate_transforms(3)) == 6
+
+    def test_reversals_add_transforms(self):
+        plain = candidate_transforms(2)
+        with_rev = candidate_transforms(2, include_reversals=True)
+        assert len(with_rev) > len(plain)
+
+    def test_skews_add_new_directions(self):
+        transforms = candidate_transforms(2, skew_factors=(1, 2))
+        directions = {t.innermost_direction() for t in transforms}
+        assert (-1, 1) in directions
+        assert (1, -1) in directions or (-2, 1) in directions
+
+    def test_zero_skew_factor_ignored(self):
+        assert len(candidate_transforms(2, skew_factors=(0,))) == len(
+            candidate_transforms(2)
+        )
+
+    def test_no_duplicate_matrices(self):
+        transforms = candidate_transforms(
+            3, include_reversals=True, skew_factors=(1, 2)
+        )
+        matrices = [t.matrix for t in transforms]
+        assert len(matrices) == len(set(matrices))
+
+    def test_legal_transforms_filters(self):
+        # A nest with a transpose write: only identity survives.
+        body = [
+            ArrayRef("A", (_j, _i), AccessKind.READ),
+            ArrayRef("A", (_i, _j), AccessKind.WRITE),
+        ]
+        legal = legal_transforms(_nest(body))
+        assert [t.name for t in legal] == ["identity"]
+
+    def test_read_only_nest_everything_legal(self):
+        body = [
+            ArrayRef("A", (_i, _j), AccessKind.READ),
+            ArrayRef("B", (_j, _i), AccessKind.READ),
+        ]
+        legal = legal_transforms(_nest(body))
+        assert len(legal) == len(candidate_transforms(2))

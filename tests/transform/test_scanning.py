@@ -1,0 +1,116 @@
+"""Unit tests for repro.transform.scanning (Fourier-Motzkin scanning)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transform.scanning import scan_transformed_box
+from repro.transform.unimodular_loop import (
+    compose,
+    identity_transform,
+    permutation_transform,
+    reversal_transform,
+    skew_transform,
+)
+
+
+class TestIdentityScan:
+    def test_lexicographic_box_order(self):
+        points = list(scan_transformed_box(identity_transform(2), ((0, 1), (0, 2))))
+        assert points == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+
+class TestPermutationScan:
+    def test_interchange_order(self):
+        points = list(
+            scan_transformed_box(permutation_transform((1, 0)), ((0, 1), (0, 2)))
+        )
+        # Interchanged: the old inner index varies slowest now.
+        assert points == [(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)]
+
+    def test_covers_every_point_once(self):
+        box = ((0, 3), (0, 2))
+        points = list(
+            scan_transformed_box(permutation_transform((1, 0)), box)
+        )
+        assert len(points) == 12
+        assert len(set(points)) == 12
+
+
+class TestReversalScan:
+    def test_inner_reversal_order(self):
+        points = list(
+            scan_transformed_box(reversal_transform(2, 1), ((0, 0), (0, 2)))
+        )
+        assert points == [(0, 2), (0, 1), (0, 0)]
+
+
+class TestSkewScan:
+    def test_skew_covers_box(self):
+        transform = skew_transform(2, 0, 1, 1)
+        box = ((0, 2), (0, 2))
+        points = list(scan_transformed_box(transform, box))
+        assert sorted(points) == sorted(
+            (i, j) for i in range(3) for j in range(3)
+        )
+
+    def test_skew_order_is_wavefront(self):
+        transform = skew_transform(2, 0, 1, 1)
+        box = ((0, 2), (0, 2))
+        points = list(scan_transformed_box(transform, box))
+        # The transformed first coordinate i + j must be non-decreasing.
+        waves = [i + j for (i, j) in points]
+        assert waves == sorted(waves)
+
+
+_transforms = st.sampled_from(
+    [
+        identity_transform(2),
+        permutation_transform((1, 0)),
+        reversal_transform(2, 0),
+        reversal_transform(2, 1),
+        skew_transform(2, 0, 1, 1),
+        skew_transform(2, 0, 1, 2),
+        compose(permutation_transform((1, 0)), skew_transform(2, 0, 1, 1)),
+    ]
+)
+
+
+class TestScanProperties:
+    @given(
+        _transforms,
+        st.tuples(st.integers(0, 3), st.integers(0, 3)),
+        st.tuples(st.integers(0, 3), st.integers(0, 3)),
+    )
+    @settings(max_examples=60)
+    def test_bijection_with_box(self, transform, lows, widths):
+        """Scanning visits exactly the box, each point once."""
+        box = tuple(
+            (low, low + width) for low, width in zip(lows, widths)
+        )
+        points = list(scan_transformed_box(transform, box))
+        expected = {
+            (i, j)
+            for i in range(box[0][0], box[0][1] + 1)
+            for j in range(box[1][0], box[1][1] + 1)
+        }
+        assert set(points) == expected
+        assert len(points) == len(expected)
+
+    @given(
+        _transforms,
+        st.tuples(st.integers(0, 3), st.integers(0, 3)),
+    )
+    @settings(max_examples=40)
+    def test_transformed_order_is_lexicographic(self, transform, widths):
+        box = tuple((0, width) for width in widths)
+        points = list(scan_transformed_box(transform, box))
+        transformed = [transform.apply_to_iteration(p) for p in points]
+        assert transformed == sorted(transformed)
+
+    def test_3d_permutation(self):
+        transform = permutation_transform((2, 0, 1))
+        box = ((0, 1), (0, 1), (0, 1))
+        points = list(scan_transformed_box(transform, box))
+        assert len(points) == 8
+        assert len(set(points)) == 8

@@ -1,0 +1,103 @@
+"""Unit tests for repro.transform.unimodular_loop."""
+
+import pytest
+
+from repro.linalg.matrices import identity_matrix, mat_mul
+from repro.transform.unimodular_loop import (
+    LoopTransform,
+    compose,
+    identity_transform,
+    permutation_transform,
+    reversal_transform,
+    skew_transform,
+)
+
+
+class TestConstruction:
+    def test_identity(self):
+        transform = identity_transform(3)
+        assert transform.is_identity
+        assert transform.innermost_direction() == (0, 0, 1)
+
+    def test_non_unimodular_rejected(self):
+        with pytest.raises(ValueError):
+            LoopTransform.create("bad", ((2, 0), (0, 1)))
+
+    def test_interchange(self):
+        transform = permutation_transform((1, 0))
+        assert transform.matrix == ((0, 1), (1, 0))
+        # After interchange the new innermost loop is the old outer one.
+        assert transform.innermost_direction() == (1, 0)
+
+    def test_bad_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            permutation_transform((0, 0))
+
+    def test_identity_permutation_named_identity(self):
+        assert permutation_transform((0, 1)).name == "identity"
+
+    def test_reversal(self):
+        transform = reversal_transform(2, 1)
+        assert transform.matrix == ((1, 0), (0, -1))
+        assert transform.innermost_direction() == (0, -1)
+
+    def test_reversal_out_of_range(self):
+        with pytest.raises(ValueError):
+            reversal_transform(2, 5)
+
+    def test_skew(self):
+        transform = skew_transform(2, 0, 1, 2)
+        assert transform.matrix == ((1, 2), (0, 1))
+        # Skewing the outer loop by the inner changes the innermost
+        # old-space step.
+        assert transform.innermost_direction() == (-2, 1)
+
+    def test_skew_same_loop_rejected(self):
+        with pytest.raises(ValueError):
+            skew_transform(2, 1, 1, 1)
+
+
+class TestApplication:
+    def test_roundtrip(self):
+        transform = skew_transform(3, 0, 2, 1)
+        point = (3, 4, 5)
+        assert transform.original_iteration(
+            transform.apply_to_iteration(point)
+        ) == point
+
+    def test_interchange_swaps(self):
+        transform = permutation_transform((1, 0))
+        assert transform.apply_to_iteration((3, 9)) == (9, 3)
+
+
+class TestCompose:
+    def test_matrix_product(self):
+        outer = permutation_transform((1, 0))
+        inner = skew_transform(2, 0, 1, 1)
+        composed = compose(outer, inner)
+        assert composed.matrix == mat_mul(outer.matrix, inner.matrix)
+
+    def test_depth_mismatch(self):
+        with pytest.raises(ValueError):
+            compose(identity_transform(2), identity_transform(3))
+
+    def test_inverse_consistency(self):
+        composed = compose(
+            permutation_transform((1, 0)), skew_transform(2, 0, 1, 3)
+        )
+        assert mat_mul(composed.matrix, composed.inverse) == identity_matrix(2)
+
+
+class TestInnermostDirection:
+    def test_figure2_semantics(self):
+        """Identity keeps direction (0 1); interchange makes it (1 0) --
+        which is exactly why the Figure 2 layouts flip."""
+        assert identity_transform(2).innermost_direction() == (0, 1)
+        assert permutation_transform((1, 0)).innermost_direction() == (1, 0)
+
+    def test_all_3d_permutations_give_unit_directions(self):
+        from itertools import permutations
+
+        for order in permutations(range(3)):
+            direction = permutation_transform(order).innermost_direction()
+            assert sorted(abs(x) for x in direction) == [0, 0, 1]

@@ -1,0 +1,61 @@
+"""Tests for the ASCII chart and the table formatter."""
+
+import pytest
+
+from repro.opt.report import format_table
+from repro.viz.chart import stacked_bar_chart
+
+
+class TestStackedBarChart:
+    def test_half_and_half(self):
+        chart = stacked_bar_chart({"x": [1, 1]}, ["a", "b"], width=8)
+        assert "####====" in chart
+        assert "a 50.0%" in chart
+
+    def test_bar_width_exact(self):
+        chart = stacked_bar_chart({"x": [1, 2, 3]}, ["a", "b", "c"], width=30)
+        bar = chart.splitlines()[0].split()[1]
+        assert len(bar) == 30
+
+    def test_zero_total(self):
+        chart = stacked_bar_chart({"x": [0, 0]}, ["a", "b"], width=10)
+        assert "a 0.0%" in chart
+
+    def test_legend_present(self):
+        chart = stacked_bar_chart({"x": [1]}, ["only"], width=4)
+        assert "legend: only '#'" in chart
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bar_chart({"x": [1]}, ["a", "b"])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bar_chart({}, [])
+
+    def test_dominant_series(self):
+        chart = stacked_bar_chart(
+            {"bench": [90, 5, 5]}, ["bj", "var", "val"], width=20
+        )
+        assert "bj 90.0%" in chart
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "count"], [["a", 1], ["bb", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("22")
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="T")
+        assert table.splitlines()[0] == "T"
+
+    def test_float_rendering(self):
+        table = format_table(["v"], [[1.23456]])
+        assert "1.23" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "-" in table

@@ -1,0 +1,106 @@
+"""Tests for the ASCII visualizations (Figures 1 and 3)."""
+
+import pytest
+
+from repro.csp.network import ConstraintNetwork
+from repro.layout.layout import column_major, diagonal, row_major
+from repro.viz.layout_art import layout_gallery, render_layout_grid
+from repro.viz.search_art import (
+    TraceRecorder,
+    render_search_trace,
+    traced_backtracking,
+)
+
+
+class TestLayoutArt:
+    def test_row_major_rows_share_symbol(self):
+        grid = render_layout_grid(row_major(2), size=4).splitlines()
+        for line in grid:
+            symbols = set(line.split())
+            assert len(symbols) == 1
+
+    def test_column_major_columns_share_symbol(self):
+        grid = render_layout_grid(column_major(2), size=4).splitlines()
+        columns = list(zip(*[line.split() for line in grid]))
+        for column in columns:
+            assert len(set(column)) == 1
+
+    def test_diagonal_pattern(self):
+        grid = [line.split() for line in render_layout_grid(diagonal(), 4).splitlines()]
+        # Elements (1,0) and (2,1) share a diagonal.
+        assert grid[1][0] == grid[2][1]
+        assert grid[0][0] != grid[0][1]
+
+    def test_gallery_contains_all_four(self):
+        gallery = layout_gallery(4)
+        for label in ("row-major", "column-major", "diagonal", "anti-diagonal"):
+            assert label in gallery
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            render_layout_grid(row_major(3))
+
+
+def _figure3_network() -> ConstraintNetwork:
+    network = ConstraintNetwork()
+    network.add_variable("Qk", [0, 1])
+    network.add_variable("Qi", [0, 1, 2])
+    network.add_variable("Qj", [0, 1])
+    # Qj is only compatible with Qk = 1; Qi is irrelevant.
+    network.add_constraint("Qk", "Qj", [(1, 0), (1, 1)])
+    return network
+
+
+class TestSearchArt:
+    def test_backjump_skips_qi(self):
+        """The Figure 3 scenario: with order Qk, Qi, Qj and Qk=0 first,
+        the dead end at Qj jumps straight to Qk, skipping Qi."""
+        network = _figure3_network()
+        trace = render_search_trace(network, ["Qk", "Qi", "Qj"], backjumping=True)
+        assert "backjump" in trace
+        assert "Qj -> Qk" in trace
+        assert "(skipped 1)" in trace
+        assert "solution found" in trace
+
+    def test_backtracking_returns_to_qi(self):
+        network = _figure3_network()
+        trace = render_search_trace(network, ["Qk", "Qi", "Qj"], backjumping=False)
+        assert "backtrack Qj -> Qi" in trace
+        assert "solution found" in trace
+
+    def test_backjumping_does_less_work(self):
+        network = _figure3_network()
+        recorder_bt = TraceRecorder()
+        traced_backtracking(network, ["Qk", "Qi", "Qj"], recorder_bt, False)
+        recorder_bj = TraceRecorder()
+        traced_backtracking(network, ["Qk", "Qi", "Qj"], recorder_bj, True)
+        assert len(recorder_bj.events) < len(recorder_bt.events)
+
+    def test_solutions_identical_for_both(self):
+        network = _figure3_network()
+        bt = traced_backtracking(network, ["Qk", "Qi", "Qj"], TraceRecorder(), False)
+        bj = traced_backtracking(network, ["Qk", "Qi", "Qj"], TraceRecorder(), True)
+        assert bt is not None and bj is not None
+        assert network.is_solution(bt)
+        assert network.is_solution(bj)
+
+    def test_unsat_trace_reports_no_solution(self):
+        network = ConstraintNetwork()
+        network.add_variable("a", [0])
+        network.add_variable("b", [0])
+        network.add_constraint("a", "b", [(0, 0)])
+        # Make it unsat by a second variable pair with no common value.
+        network2 = ConstraintNetwork()
+        network2.add_variable("a", [0, 1])
+        network2.add_variable("b", [0, 1])
+        network2.add_constraint("a", "b", [(0, 1), (1, 0)])
+        network2.add_variable("c", [0])
+        trace = render_search_trace(network2, ["a", "b", "c"], backjumping=False)
+        assert "solution found" in trace  # this one is satisfiable
+
+    def test_recorder_rendering_numbers_lines(self):
+        recorder = TraceRecorder()
+        recorder.assign("x", 1)
+        recorder.solution()
+        rendered = recorder.render()
+        assert rendered.splitlines()[0].startswith("  1.")
