@@ -1,0 +1,90 @@
+"""Service-layer throughput: batched portfolio serving, cold vs warm.
+
+Not a paper table -- this measures the PR's serving architecture on the
+paper's workload: the five Table 1 programs (plus synthetic filler)
+pushed through ``repro.service.run_batch`` with a racing portfolio and
+a shared result cache.  Reported shape: the warm-cache batch must be
+orders of magnitude faster than the cold batch (every program served
+from the fingerprint-keyed cache), and cold-batch throughput should
+scale with the worker pool.
+
+Run:  pytest benchmarks/bench_service_throughput.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench import random_suite
+from repro.service import PortfolioConfig, ResultCache, run_batch
+
+from benchmarks.conftest import HARNESS_SEED
+
+#: The racing line-up measured here (the acceptance-criteria set).
+PORTFOLIO = ("enhanced", "cbj", "weighted")
+
+
+def _batch_programs(programs):
+    """Five paper benchmarks plus deterministic synthetic filler."""
+    return list(programs.values()) + list(random_suite(5, seed=HARNESS_SEED))
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_cold_batch_throughput(benchmark, workers, programs, build_options):
+    """Cold-cache batch: every program races the full portfolio."""
+    batch = _batch_programs(programs)
+    config = PortfolioConfig(schemes=PORTFOLIO, seed=HARNESS_SEED)
+    report_holder = {}
+
+    def serve():
+        report_holder["report"] = run_batch(
+            batch,
+            config,
+            options=build_options,
+            cache=ResultCache(),
+            workers=workers,
+        )
+
+    benchmark.pedantic(serve, rounds=1, iterations=1)
+    report = report_holder["report"]
+    assert report.total == len(batch)
+    assert report.cache_hits == 0
+    benchmark.extra_info.update(
+        {
+            "workers": workers,
+            "throughput_programs_per_s": round(report.throughput, 2),
+            "scheme_wins": report.scheme_wins(),
+        }
+    )
+    print(f"\n[service cold, workers={workers}]")
+    print(report.format())
+
+
+def test_warm_batch_is_cache_bound(benchmark, programs, build_options):
+    """Warm-cache batch: ~all requests served without touching a solver."""
+    batch = _batch_programs(programs)
+    config = PortfolioConfig(schemes=PORTFOLIO, seed=HARNESS_SEED)
+    cache = ResultCache()
+    cold = run_batch(
+        batch, config, options=build_options, cache=cache, workers=4
+    )
+    report_holder = {}
+
+    def serve():
+        report_holder["report"] = run_batch(
+            batch, config, options=build_options, cache=cache, workers=4
+        )
+
+    benchmark.pedantic(serve, rounds=1, iterations=1)
+    warm = report_holder["report"]
+    assert warm.cached_fraction == 1.0
+    speedup = cold.wall_seconds / max(warm.wall_seconds, 1e-9)
+    benchmark.extra_info.update(
+        {
+            "cold_wall_s": round(cold.wall_seconds, 3),
+            "warm_wall_s": round(warm.wall_seconds, 5),
+            "speedup": round(speedup, 1),
+        }
+    )
+    print("\n[service warm vs cold]")
+    print(f"  cold: {cold.wall_seconds:.3f}s   warm: {warm.wall_seconds:.5f}s")
+    print(f"  cache speedup: {speedup:.0f}x")
+    print(warm.format())

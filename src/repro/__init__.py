@@ -23,6 +23,10 @@ Quickstart::
     for array, layout in outcome.layouts.items():
         print(array, layout.describe())
 
+For production-style serving -- many programs, racing solver
+portfolios, result caching -- see :mod:`repro.service` and the batch
+CLI ``python -m repro.service`` (README.md has a walkthrough).
+
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-versus-measured comparison.
 """
@@ -62,8 +66,15 @@ from repro.opt import (
 )
 from repro.simul import simulate_program
 from repro.cachesim import HierarchyConfig, paper_hierarchy
+from repro.service import (
+    PortfolioConfig,
+    PortfolioSolver,
+    ResultCache,
+    run_batch,
+)
 
-__version__ = "1.0.0"
+#: Package version; surfaced by ``python -m repro.service --version``.
+__version__ = "1.1.0"
 
 __all__ = [
     "AffineExpr",
@@ -94,5 +105,9 @@ __all__ = [
     "simulate_program",
     "HierarchyConfig",
     "paper_hierarchy",
+    "PortfolioConfig",
+    "PortfolioSolver",
+    "ResultCache",
+    "run_batch",
     "__version__",
 ]

@@ -15,6 +15,7 @@ from repro.bench.programs import (
     TABLE1_REFERENCE,
     build_benchmark,
     benchmark_build_options,
+    random_suite,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "TABLE1_REFERENCE",
     "build_benchmark",
     "benchmark_build_options",
+    "random_suite",
 ]

@@ -148,6 +148,37 @@ def build_benchmark(name: str) -> Program:
     return _CACHE[name]
 
 
+def random_suite(count: int, seed: int = 0) -> tuple[Program, ...]:
+    """A deterministic suite of small synthetic programs.
+
+    Used by the service layer's batch CLI and throughput benchmarks to
+    generate load beyond the five Table 1 programs: each program is a
+    fresh :class:`SyntheticSpec` draw (distinct seeds derived from
+    ``seed``), small enough that any systematic scheme solves it in
+    well under a second but varied enough that networks differ.
+
+    Raises:
+        ValueError: for a non-positive count.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    programs = []
+    for index in range(count):
+        spec = SyntheticSpec(
+            name=f"Rand-{seed}-{index + 1:03d}",
+            array_extents=extents_for_data_size(
+                96 * 1024 + 8 * 1024 * (index % 5), 8 + index % 5
+            ),
+            nest_count=6 + index % 4,
+            arrays_per_nest=(2, 3),
+            pattern_variety=0.1 + 0.05 * (index % 3),
+            conflict_nests=index % 2,
+            seed=seed * 10_000 + 7 * index + 1,
+        )
+        programs.append(generate_program(spec))
+    return tuple(programs)
+
+
 def benchmark_build_options() -> BuildOptions:
     """The network-construction options used for all Table 1..3 runs.
 

@@ -228,6 +228,44 @@ class ConstraintNetwork:
                     violated.append(constraint)
         return tuple(violated)
 
+    def canonical_form(self, value_token=str) -> tuple:
+        """Order-independent structural summary of the network.
+
+        Two networks built from the same variables, domains and
+        constraint pair-sets -- in *any* insertion order, with either
+        constraint orientation -- produce identical canonical forms.
+        ``value_token`` maps domain values to stable, sortable string
+        tokens (defaults to :func:`str`; the service layer passes a
+        collision-resistant encoder).  This is the hook behind
+        :mod:`repro.service.fingerprint`.
+        """
+        variables = tuple(
+            sorted(
+                (name, tuple(sorted(value_token(value) for value in domain)))
+                for name, domain in self._domains.items()
+            )
+        )
+        constraints = []
+        for constraint in self._constraints.values():
+            low, high = sorted((constraint.first, constraint.second))
+            if constraint.first == low:
+                oriented = constraint.pairs
+            else:
+                oriented = frozenset((b, a) for (a, b) in constraint.pairs)
+            constraints.append(
+                (
+                    low,
+                    high,
+                    tuple(
+                        sorted(
+                            (value_token(a), value_token(b))
+                            for (a, b) in oriented
+                        )
+                    ),
+                )
+            )
+        return (variables, tuple(sorted(constraints)))
+
     def copy_with_domains(
         self, domains: Mapping[str, Sequence[Value]]
     ) -> "ConstraintNetwork":

@@ -35,13 +35,16 @@ from repro.opt.network_builder import BuildOptions, LayoutNetwork, build_layout_
 from repro.transform.catalog import legal_transforms
 from repro.transform.unimodular_loop import LoopTransform
 
-#: Scheme name -> solver factory (seed -> solver).
+#: Scheme name -> solver factory (seed -> solver).  "weighted" is the
+#: branch & bound over the nest-cost weighted network: always returns
+#: an assignment, exact exactly when the hard network is satisfiable.
 _SCHEMES = {
     "base": lambda seed: BacktrackingSolver(seed=seed),
     "enhanced": lambda seed: EnhancedSolver(seed=seed),
     "cbj": lambda seed: ConflictDirectedSolver(seed=seed),
     "forward-checking": lambda seed: ForwardCheckingSolver(seed=seed),
     "min-conflicts": lambda seed: MinConflictsSolver(seed=seed),
+    "weighted": lambda seed: BranchAndBoundSolver(),
 }
 
 
@@ -74,9 +77,16 @@ class LayoutOptimizer:
 
     Args:
         scheme: "base", "enhanced", "cbj", "forward-checking",
-            "min-conflicts", or an :class:`EnhancementConfig` for
-            per-enhancement ablation runs.
-        seed: RNG seed for the randomized schemes.
+            "min-conflicts", "weighted" (branch & bound over the
+            nest-cost weighted network), an :class:`EnhancementConfig`
+            for per-enhancement ablation runs, or a *portfolio
+            strategy*: the string ``"portfolio:enhanced,cbj,weighted"``
+            (or a :class:`repro.service.PortfolioConfig`) races the
+            named schemes concurrently and the outcome's ``scheme``
+            field reports which one won, e.g. ``"portfolio:cbj"``.
+        seed: RNG seed for the randomized schemes.  Threaded into the
+            ``"portfolio:..."`` string forms; a ``PortfolioConfig``
+            instance carries its own seed, which takes precedence.
         options: network construction options.
 
     Raises:
@@ -85,11 +95,17 @@ class LayoutOptimizer:
 
     def __init__(
         self,
-        scheme: str | EnhancementConfig = "enhanced",
+        scheme="enhanced",
         seed: int = 0,
         options: BuildOptions | None = None,
     ):
-        if isinstance(scheme, EnhancementConfig):
+        self._portfolio = None
+        self._solver = None
+        portfolio_config = _as_portfolio_config(scheme, seed)
+        if portfolio_config is not None:
+            self._portfolio = portfolio_config
+            self._scheme_name = f"portfolio[{','.join(portfolio_config.schemes)}]"
+        elif isinstance(scheme, EnhancementConfig):
             self._scheme_name = scheme.label()
             self._solver = EnhancedSolver(scheme, seed=seed)
         else:
@@ -103,18 +119,30 @@ class LayoutOptimizer:
 
     def optimize(self, program: Program) -> OptimizationOutcome:
         """Choose one memory layout for every array of the program."""
+        if self._portfolio is not None:
+            return self._optimize_portfolio(program)
         start = time.perf_counter()
         layout_network = build_layout_network(program, self._options)
-        result = self._solver.solve(layout_network.network)
-        exact = result.assignment is not None
-        if exact:
-            assignment = dict(result.assignment)
-            stats = result.stats
-        else:
-            weighted_result = BranchAndBoundSolver().solve(layout_network.weighted())
+        if isinstance(self._solver, BranchAndBoundSolver):
+            # First-class weighted scheme: solve the weighted network
+            # directly -- exact iff the hard network is satisfiable.
+            weighted_result = self._solver.solve(layout_network.weighted())
             assignment = dict(weighted_result.assignment)
             stats = weighted_result.stats
             exact = weighted_result.fully_satisfied
+        else:
+            result = self._solver.solve(layout_network.network)
+            exact = result.assignment is not None
+            if exact:
+                assignment = dict(result.assignment)
+                stats = result.stats
+            else:
+                weighted_result = BranchAndBoundSolver().solve(
+                    layout_network.weighted()
+                )
+                assignment = dict(weighted_result.assignment)
+                stats = weighted_result.stats
+                exact = weighted_result.fully_satisfied
         if exact:
             repair_inflation(layout_network.network, assignment, program)
         elapsed = time.perf_counter() - start
@@ -134,6 +162,49 @@ class LayoutOptimizer:
             network=layout_network,
             exact=exact,
         )
+
+    def _optimize_portfolio(self, program: Program) -> OptimizationOutcome:
+        """Delegate to the service layer's racing portfolio."""
+        from repro.service.portfolio import PortfolioSolver
+
+        result = PortfolioSolver(self._portfolio, options=self._options).optimize(
+            program
+        )
+        network = result.network
+        if network is None:  # served from a cache: rebuild provenance
+            network = build_layout_network(program, self._options)
+        return OptimizationOutcome(
+            program=program.name,
+            scheme=f"portfolio:{result.winner}",
+            layouts=result.layouts,
+            stats=result.winner_stats(),
+            solve_seconds=result.solve_seconds,
+            network=network,
+            exact=result.exact,
+        )
+
+
+def _as_portfolio_config(scheme, seed: int):
+    """Interpret a scheme argument as a portfolio strategy, if it is one.
+
+    Accepts a :class:`repro.service.PortfolioConfig` instance or the
+    string forms ``"portfolio"`` (default line-up) and
+    ``"portfolio:a,b,c"``.  Returns None for plain scheme names.  The
+    service import is lazy: :mod:`repro.service` imports this module.
+    """
+    if isinstance(scheme, str):
+        if scheme != "portfolio" and not scheme.startswith("portfolio:"):
+            return None
+        from repro.service.portfolio import PortfolioConfig
+
+        if scheme == "portfolio":
+            return PortfolioConfig(seed=seed)
+        return PortfolioConfig.parse(scheme[len("portfolio:"):], seed=seed)
+    if isinstance(scheme, EnhancementConfig):
+        return None
+    from repro.service.portfolio import PortfolioConfig
+
+    return scheme if isinstance(scheme, PortfolioConfig) else None
 
 
 def repair_inflation(network, assignment: dict, program: Program) -> None:

@@ -1,0 +1,53 @@
+"""The layout solver *service* layer: batched, parallel, cached.
+
+The core library answers one request at a time with one hand-picked
+scheme; this package turns it into a serving stack:
+
+* :mod:`repro.service.fingerprint` -- canonical, order-independent
+  fingerprints for programs, constraint networks and configurations
+  (stable across processes: cache keys).
+* :mod:`repro.service.cache` -- an in-memory LRU result cache with
+  optional JSON persistence and hit/miss statistics.
+* :mod:`repro.service.portfolio` -- several solver schemes raced
+  concurrently per request (first exact winner takes it, stragglers
+  are cancelled, deadlines bound the worst case), with a per-scheme
+  outcome table.
+* :mod:`repro.service.batch` -- many programs fanned across a worker
+  pool, producing a throughput/latency report.
+* :mod:`repro.service.cli` -- the ``python -m repro.service`` front
+  end tying it all together.
+"""
+
+from repro.service.batch import BatchReport, run_batch
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.fingerprint import (
+    canonical_value_token,
+    network_fingerprint,
+    program_fingerprint,
+    request_fingerprint,
+)
+from repro.service.portfolio import (
+    DEFAULT_SCHEMES,
+    PortfolioConfig,
+    PortfolioResult,
+    PortfolioSolver,
+    SchemeOutcome,
+    known_schemes,
+)
+
+__all__ = [
+    "BatchReport",
+    "run_batch",
+    "CacheStats",
+    "ResultCache",
+    "canonical_value_token",
+    "network_fingerprint",
+    "program_fingerprint",
+    "request_fingerprint",
+    "DEFAULT_SCHEMES",
+    "PortfolioConfig",
+    "PortfolioResult",
+    "PortfolioSolver",
+    "SchemeOutcome",
+    "known_schemes",
+]

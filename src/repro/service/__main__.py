@@ -1,0 +1,8 @@
+"""``python -m repro.service`` -- the batch service CLI."""
+
+import sys
+
+from repro.service.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""Batch front end: many programs through the portfolio, with a report.
+
+``run_batch`` fans a list of programs across a process pool (each
+worker runs the full racing portfolio for its program), consults the
+shared result cache in the parent before dispatching and stores fresh
+results after, and aggregates everything into a
+:class:`BatchReport` -- throughput, latency percentiles, cache service
+fraction and the per-scheme win table the CLI prints.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.ir.program import Program
+from repro.opt.network_builder import BuildOptions
+from repro.service.cache import ResultCache
+from repro.service.fingerprint import request_fingerprint
+from repro.service.portfolio import PortfolioConfig, PortfolioResult, PortfolioSolver
+
+
+@dataclass
+class BatchReport:
+    """Aggregate view of one batch run.
+
+    Attributes:
+        results: one :class:`PortfolioResult` per program, input order.
+        wall_seconds: end-to-end batch wall-clock time.
+        workers: size of the program-level worker pool used.
+    """
+
+    results: list[PortfolioResult]
+    wall_seconds: float
+    workers: int
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for result in self.results if result.from_cache)
+
+    @property
+    def cached_fraction(self) -> float:
+        """Fraction of requests served from cache (0.0 on empty batch)."""
+        if not self.results:
+            return 0.0
+        return self.cache_hits / len(self.results)
+
+    @property
+    def throughput(self) -> float:
+        """Programs per second (0.0 on a zero-length wall clock)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.results) / self.wall_seconds
+
+    def latencies(self) -> list[float]:
+        """Per-program solve latencies, sorted ascending."""
+        return sorted(result.solve_seconds for result in self.results)
+
+    def scheme_wins(self) -> dict[str, int]:
+        """winner scheme -> number of programs it won."""
+        wins: dict[str, int] = {}
+        for result in self.results:
+            if result.winner is not None:
+                wins[result.winner] = wins.get(result.winner, 0) + 1
+        return wins
+
+    def format(self) -> str:
+        """The human-readable throughput/latency report."""
+        lines = ["Throughput report"]
+        exact = sum(1 for r in self.results if r.exact)
+        lines.append(
+            f"  programs: {self.total} ({exact} exact), "
+            f"wall {self.wall_seconds:.2f}s, "
+            f"{self.throughput:.2f} programs/s, workers={self.workers}"
+        )
+        latencies = self.latencies()
+        if latencies:
+            mean = sum(latencies) / len(latencies)
+            p50 = latencies[len(latencies) // 2]
+            lines.append(
+                f"  latency: mean {mean * 1000:.1f}ms  p50 {p50 * 1000:.1f}ms  "
+                f"max {latencies[-1] * 1000:.1f}ms"
+            )
+        percent = 100.0 * self.cached_fraction
+        lines.append(
+            f"  cache: served {self.cache_hits}/{self.total} from cache "
+            f"({percent:.1f}%)"
+        )
+        wins = self.scheme_wins()
+        if wins:
+            table = "  ".join(
+                f"{scheme}={count}"
+                for scheme, count in sorted(wins.items(), key=lambda kv: -kv[1])
+            )
+            lines.append(f"  scheme wins: {table}")
+        return "\n".join(lines)
+
+
+def _solve_one(
+    program: Program,
+    config: PortfolioConfig,
+    options: BuildOptions,
+    fingerprint: str,
+) -> dict:
+    """Pool worker: race one program, return the serialized result."""
+    solver = PortfolioSolver(config, options=options)
+    return solver.optimize(program, fingerprint=fingerprint).to_dict()
+
+
+def run_batch(
+    programs: Sequence[Program],
+    config: PortfolioConfig | None = None,
+    options: BuildOptions | None = None,
+    cache: ResultCache | None = None,
+    workers: int = 1,
+) -> BatchReport:
+    """Serve a batch of programs and aggregate the outcome.
+
+    Cache lookups and stores happen in the parent (the pool workers are
+    stateless), so one shared cache serves the whole batch and repeat
+    programs inside a single batch are raced only once.
+
+    Args:
+        programs: the request list (order is preserved in the report).
+        config: portfolio configuration (defaults races the default
+            line-up).
+        options: network-construction options shared by every request.
+        cache: optional shared result cache.
+        workers: program-level process pool size; 1 serves the batch
+            in-process (each program still races its schemes in
+            parallel when the config says so).
+
+    Raises:
+        ValueError: for a non-positive worker count.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    config = config if config is not None else PortfolioConfig()
+    options = options if options is not None else BuildOptions()
+    token = config.token()
+    start = time.perf_counter()
+
+    slots: list[PortfolioResult | None] = [None] * len(programs)
+    pending: list[tuple[int, Program, str]] = []
+    seen_fingerprints: dict[str, int] = {}
+    duplicates: list[tuple[int, int]] = []
+    for index, program in enumerate(programs):
+        fingerprint = request_fingerprint(program, options)
+        cached = cache.get(fingerprint, token) if cache is not None else None
+        if cached is not None:
+            result = PortfolioResult.from_dict(cached, from_cache=True)
+            result.program = program.name  # entry may be a renamed twin
+            slots[index] = result
+            continue
+        if fingerprint in seen_fingerprints:
+            duplicates.append((index, seen_fingerprints[fingerprint]))
+            continue
+        seen_fingerprints[fingerprint] = index
+        pending.append((index, program, fingerprint))
+
+    if pending:
+        if workers == 1 or len(pending) == 1:
+            solver = PortfolioSolver(config, options=options)
+            fresh = [
+                solver.optimize(program, fingerprint=fingerprint)
+                for _, program, fingerprint in pending
+            ]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                serialized = list(
+                    pool.map(
+                        _solve_one,
+                        [program for _, program, _ in pending],
+                        [config] * len(pending),
+                        [options] * len(pending),
+                        [fingerprint for _, _, fingerprint in pending],
+                    )
+                )
+            fresh = [PortfolioResult.from_dict(data) for data in serialized]
+        for (index, _, fingerprint), result in zip(pending, fresh):
+            slots[index] = result
+            if cache is not None and result.exact:
+                # Mirror PortfolioSolver: never freeze a deadline-shaped
+                # best-effort answer into the cache.
+                cache.put(fingerprint, token, result.to_dict())
+
+    # Duplicate requests inside the batch reuse the first occurrence's
+    # result (reported as cache-served: the race ran once).
+    for index, source in duplicates:
+        original = slots[source]
+        assert original is not None
+        duplicate = PortfolioResult.from_dict(original.to_dict(), from_cache=True)
+        duplicate.program = programs[index].name  # may be a renamed twin
+        slots[index] = duplicate
+
+    results = [result for result in slots if result is not None]
+    return BatchReport(
+        results=results,
+        wall_seconds=time.perf_counter() - start,
+        workers=workers,
+    )

@@ -1,0 +1,170 @@
+"""Result cache for the layout solver service.
+
+An in-memory LRU keyed by ``(request fingerprint, portfolio/scheme
+token)`` with optional JSON persistence, so a service restart -- or the
+next invocation of the batch CLI -- serves repeat programs without
+re-running any solver.  Values are plain JSON-serializable dicts (the
+portfolio layer owns (de)serialization of its results), which keeps the
+cache format inspectable with nothing but a text editor.
+
+Hit/miss/eviction counters live in :class:`CacheStats`; the batch
+report surfaces them ("served N% from cache").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+#: On-disk format version; bump on incompatible layout changes.
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance's lifetime.
+
+    Attributes:
+        hits: successful lookups.
+        misses: failed lookups.
+        stores: values inserted (including overwrites).
+        evictions: entries dropped to respect the capacity bound.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+
+class ResultCache:
+    """LRU cache of solver results, optionally persisted to a JSON file.
+
+    Args:
+        capacity: maximum number of entries kept in memory (least
+            recently *used* entries are evicted first).
+        path: optional JSON file; existing entries are loaded eagerly
+            (corrupt or version-mismatched files are ignored, not
+            fatal -- the cache simply starts cold).  Call :meth:`save`
+            to persist; saving is atomic (write + rename).
+
+    Keys are ``(fingerprint, config_token)`` string pairs; values must
+    be JSON-serializable.
+    """
+
+    def __init__(self, capacity: int = 256, path: str | None = None):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self._capacity = capacity
+        self._path = path
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self.stats = CacheStats()
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    @staticmethod
+    def _key(fingerprint: str, config_token: str) -> str:
+        return f"{fingerprint}|{config_token}"
+
+    # -- lookups ---------------------------------------------------------
+
+    def get(self, fingerprint: str, config_token: str) -> dict | None:
+        """The cached value, or None; refreshes LRU position on hit."""
+        key = self._key(fingerprint, config_token)
+        value = self._entries.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, fingerprint: str, config_token: str, value: dict) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail if full."""
+        key = self._key(fingerprint, config_token)
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self.stats.stores += 1
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def contains(self, fingerprint: str, config_token: str) -> bool:
+        """Membership test that does not touch stats or LRU order."""
+        return self._key(fingerprint, config_token) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        self._entries.clear()
+
+    # -- persistence -----------------------------------------------------
+
+    def _load(self, path: str) -> None:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return
+        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+            return
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            return
+        for item in entries[-self._capacity:]:
+            if (
+                isinstance(item, list)
+                and len(item) == 2
+                and isinstance(item[0], str)
+                and isinstance(item[1], dict)
+            ):
+                self._entries[item[0]] = item[1]
+
+    def save(self) -> None:
+        """Persist all entries (LRU order preserved); no-op when pathless."""
+        if self._path is None:
+            return
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [[key, value] for key, value in self._entries.items()],
+        }
+        directory = os.path.dirname(os.path.abspath(self._path))
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=".cache-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(temp_path, self._path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,205 @@
+"""Command-line front end of the layout solver service.
+
+Usage::
+
+    python -m repro.service --programs all --portfolio enhanced,cbj,weighted --workers 4
+
+Takes a list of programs (the five Table 1 benchmarks by name, plus
+optional synthetic load from the random generator), serves each through
+the racing portfolio with a shared on-disk result cache, and prints the
+per-program outcomes followed by the batch throughput report.  Run the
+same command twice: the second run is served from the cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import __version__
+from repro.bench.programs import (
+    BENCHMARK_NAMES,
+    benchmark_build_options,
+    build_benchmark,
+    random_suite,
+)
+from repro.ir.program import Program
+from repro.service.batch import run_batch
+from repro.service.cache import ResultCache
+from repro.service.portfolio import DEFAULT_SCHEMES, PortfolioConfig, known_schemes
+
+#: Default on-disk cache location (current directory: per-project).
+DEFAULT_CACHE_PATH = ".repro-service-cache.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The service CLI's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description=(
+            "Batched, cached, racing-portfolio layout optimization "
+            "service over the paper's benchmark programs."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "--programs",
+        default="all",
+        help=(
+            "comma-separated benchmark names, or 'all' for the five "
+            f"Table 1 programs (known: {', '.join(BENCHMARK_NAMES)}); "
+            "'none' serves only --random programs"
+        ),
+    )
+    parser.add_argument(
+        "--random",
+        type=int,
+        default=0,
+        metavar="N",
+        help="append N deterministic synthetic programs to the batch",
+    )
+    parser.add_argument(
+        "--random-seed",
+        type=int,
+        default=0,
+        help="seed for the synthetic program suite (default 0)",
+    )
+    parser.add_argument(
+        "--portfolio",
+        default=",".join(DEFAULT_SCHEMES),
+        help=(
+            "comma-separated schemes to race "
+            f"(known: {', '.join(known_schemes())})"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="program-level worker pool size (default 2)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=120.0,
+        help="per-program racing deadline in seconds (default 120)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="solver RNG seed (default 0)"
+    )
+    parser.add_argument(
+        "--sequential",
+        action="store_true",
+        help="run each program's schemes sequentially instead of racing",
+    )
+    parser.add_argument(
+        "--cache",
+        default=DEFAULT_CACHE_PATH,
+        metavar="PATH",
+        help=f"result cache file (default {DEFAULT_CACHE_PATH})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="drop all cached results before serving",
+    )
+    parser.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="also print the per-scheme outcome table for every program",
+    )
+    return parser
+
+
+def _resolve_programs(args: argparse.Namespace) -> list[Program]:
+    programs: list[Program] = []
+    spec = args.programs.strip().lower()
+    if spec == "all":
+        programs.extend(build_benchmark(name) for name in BENCHMARK_NAMES)
+    elif spec not in ("none", ""):
+        for name in args.programs.split(","):
+            name = name.strip()
+            if not name:
+                continue
+            try:
+                programs.append(build_benchmark(name))
+            except KeyError:
+                raise SystemExit(
+                    f"unknown benchmark {name!r}; know {', '.join(BENCHMARK_NAMES)}"
+                )
+    if args.random:
+        programs.extend(random_suite(args.random, seed=args.random_seed))
+    if not programs:
+        raise SystemExit("empty batch: give --programs and/or --random N")
+    return programs
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        config = PortfolioConfig.parse(
+            args.portfolio,
+            seed=args.seed,
+            deadline_seconds=args.deadline,
+            parallel=not args.sequential,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.workers < 1:
+        raise SystemExit("--workers must be positive")
+    if args.random < 0:
+        raise SystemExit("--random must be non-negative")
+    programs = _resolve_programs(args)
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(capacity=4096, path=args.cache)
+        if args.clear_cache:
+            cache.clear()
+
+    print(
+        f"repro layout service v{__version__} -- "
+        f"portfolio [{', '.join(config.schemes)}], "
+        f"workers={args.workers}, deadline={args.deadline:.0f}s, "
+        f"cache={'off' if cache is None else args.cache}"
+    )
+    report = run_batch(
+        programs,
+        config=config,
+        options=benchmark_build_options(),
+        cache=cache,
+        workers=args.workers,
+    )
+    for result in report.results:
+        source = "cache" if result.from_cache else f"winner={result.winner}"
+        exactness = "exact" if result.exact else "best-effort"
+        print(
+            f"  {result.program:<12} {source:<24} {exactness:<12} "
+            f"{result.solve_seconds * 1000:8.1f}ms"
+        )
+        if args.verbose and not result.from_cache:
+            for outcome in result.outcomes:
+                print(
+                    f"      {outcome.scheme:<18} {outcome.status:<10} "
+                    f"{outcome.seconds * 1000:8.1f}ms  {outcome.detail}"
+                )
+    print()
+    print(report.format())
+    if cache is not None:
+        cache.save()
+        stats = cache.stats
+        print(
+            f"  cache stats: hits={stats.hits} misses={stats.misses} "
+            f"stores={stats.stores} evictions={stats.evictions} "
+            f"entries={len(cache)}"
+        )
+    failures = sum(1 for result in report.results if result.winner is None)
+    return 1 if failures else 0

@@ -1,0 +1,134 @@
+"""Canonical fingerprints for programs, networks and configurations.
+
+The serving layer caches solver results across process boundaries, so
+cache keys must be *stable* (identical across interpreter runs -- no
+salted ``hash()``) and *order-independent* (the same program or network
+assembled in a different insertion order fingerprints identically).
+Everything here reduces a structure to a canonical nested form, encodes
+it as JSON, and hashes it with SHA-256.
+
+Three producers:
+
+* :func:`network_fingerprint` -- over a :class:`ConstraintNetwork`'s
+  variables, sorted domains and orientation-normalized constraint
+  pair-sets (via :meth:`ConstraintNetwork.canonical_form`);
+* :func:`program_fingerprint` -- over a :class:`Program`'s array
+  declarations and loop nests (declaration order ignored);
+* :func:`request_fingerprint` -- a program plus the
+  :class:`BuildOptions` that turn it into a network: the cache key of
+  one optimization request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Hashable
+
+from repro.csp.network import ConstraintNetwork
+from repro.ir.expr import AffineExpr
+from repro.ir.program import Program
+from repro.layout.layout import Layout
+from repro.opt.network_builder import BuildOptions
+
+#: Length (hex characters) of every fingerprint digest.
+DIGEST_LENGTH = 32
+
+
+def canonical_value_token(value: Hashable) -> str:
+    """A stable, collision-resistant string token for a domain value.
+
+    Handles the value types that actually appear in this codebase's
+    networks -- layouts, ints, strings, bools, None, and tuples thereof
+    -- with explicit type tags so e.g. ``1`` and ``"1"`` and ``True``
+    stay distinct.  Unknown types fall back to ``repr`` (stable for
+    well-behaved value classes; layouts and the random-network ints
+    never reach this branch).
+    """
+    if isinstance(value, Layout):
+        return f"layout:{value.dimension}:{value.rows!r}"
+    if isinstance(value, bool):
+        return f"bool:{value}"
+    if isinstance(value, int):
+        return f"int:{value}"
+    if isinstance(value, str):
+        return f"str:{value}"
+    if value is None:
+        return "none"
+    if isinstance(value, float):
+        return f"float:{value!r}"
+    if isinstance(value, tuple):
+        inner = ",".join(canonical_value_token(item) for item in value)
+        return f"tuple:[{inner}]"
+    if isinstance(value, frozenset):
+        inner = ",".join(sorted(canonical_value_token(item) for item in value))
+        return f"frozenset:[{inner}]"
+    return f"{type(value).__name__}:{value!r}"
+
+
+def _digest(structure) -> str:
+    """SHA-256 (truncated) over the JSON encoding of a nested structure."""
+    encoded = json.dumps(structure, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()[:DIGEST_LENGTH]
+
+
+def network_fingerprint(network: ConstraintNetwork) -> str:
+    """Fingerprint of a constraint network's variables/domains/constraints.
+
+    Insertion order of variables, domains, constraints and pairs does
+    not affect the result; neither does constraint orientation.
+    """
+    variables, constraints = network.canonical_form(canonical_value_token)
+    return _digest(
+        [
+            [[name, list(domain)] for name, domain in variables],
+            [[low, high, [list(p) for p in pairs]] for low, high, pairs in constraints],
+        ]
+    )
+
+
+def _expr_form(expr: AffineExpr) -> list:
+    """Canonical encoding of an affine expression."""
+    return [sorted(list(item) for item in expr.coeffs), expr.const]
+
+
+def program_fingerprint(program: Program) -> str:
+    """Structural fingerprint of a program.
+
+    Array and nest *declaration order* is ignored (it never changes the
+    constraint network); everything semantically relevant -- extents,
+    dtypes, loop bounds, reference subscripts, access kinds, nest
+    weights -- is included.  The program *name* is excluded so renamed
+    but identical programs share cache entries.
+    """
+    arrays = sorted(
+        [decl.name, list(decl.extents), decl.element_type]
+        for decl in program.arrays
+    )
+    nests = sorted(
+        [
+            nest.name,
+            [[loop.index, loop.lower, loop.upper] for loop in nest.loops],
+            [
+                [ref.array, [_expr_form(s) for s in ref.subscripts], ref.kind.name]
+                for ref in nest.body
+            ],
+            nest.weight,
+        ]
+        for nest in program.nests
+    )
+    return _digest([arrays, nests])
+
+
+def options_token(options: BuildOptions) -> str:
+    """Canonical token for network-construction options."""
+    return (
+        f"std={options.include_standard},rev={options.include_reversals},"
+        f"skew={list(options.skew_factors)},combine={options.combine}"
+    )
+
+
+def request_fingerprint(program: Program, options: BuildOptions | None = None) -> str:
+    """Cache key of one optimization request: program + build options."""
+    options = options if options is not None else BuildOptions()
+    return _digest([program_fingerprint(program), options_token(options)])

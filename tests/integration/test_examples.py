@@ -47,6 +47,14 @@ def test_dynamic_layouts():
     assert "layout changes: 0" in output
 
 
+def test_service_demo():
+    output = _run("service_demo.py")
+    assert "First batch (cold cache)" in output
+    assert "winner=" in output
+    assert "Throughput report" in output
+    assert "served 5/5 from cache (100.0%)" in output
+
+
 @pytest.mark.slow
 def test_matmul_pipeline():
     output = _run("matmul_pipeline.py")

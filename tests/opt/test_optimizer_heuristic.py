@@ -28,6 +28,19 @@ class TestLayoutOptimizer:
         with pytest.raises(ValueError):
             LayoutOptimizer(scheme="quantum")
 
+    def test_weighted_scheme_is_first_class(self):
+        """"weighted" is a registered scheme, not just the UNSAT
+        fallback: exact on a satisfiable network, same answer set."""
+        program = parse_program(FIGURE2)
+        outcome = LayoutOptimizer(scheme="weighted").optimize(program)
+        assert outcome.scheme == "weighted"
+        assert outcome.exact
+        pair = (outcome.layouts["Q1"], outcome.layouts["Q2"])
+        assert pair in (
+            (diagonal(), column_major(2)),
+            (column_major(2), diagonal()),
+        )
+
     def test_enhancement_config_as_scheme(self):
         program = parse_program(FIGURE2)
         config = EnhancementConfig(True, False, True)

@@ -1,0 +1,154 @@
+"""Fingerprint stability: insertion order must not matter, content must."""
+
+import pytest
+
+from repro.bench import BENCHMARK_NAMES, benchmark_build_options, build_benchmark
+from repro.csp.network import ConstraintNetwork
+from repro.ir.parser import parse_program
+from repro.ir.program import Program
+from repro.layout.layout import column_major, diagonal, row_major
+from repro.opt.network_builder import BuildOptions, build_layout_network
+from repro.service.fingerprint import (
+    canonical_value_token,
+    network_fingerprint,
+    options_token,
+    program_fingerprint,
+    request_fingerprint,
+)
+
+FIGURE2 = """
+array Q1[520][260]
+array Q2[520][260]
+nest fig2 {
+    for i1 = 0 .. 259 {
+        for i2 = 0 .. 259 {
+            Q1[i1+i2][i2] = Q2[i1+i2][i1]
+        }
+    }
+}
+"""
+
+
+def _toy_network(variable_order, domain_orders, flip_orientation):
+    """The same tiny network assembled in a configurable order."""
+    network = ConstraintNetwork()
+    domains = {
+        "a": (row_major(2), column_major(2), diagonal()),
+        "b": (column_major(2), diagonal()),
+        "c": (row_major(2), diagonal()),
+    }
+    for name in variable_order:
+        network.add_variable(name, domain_orders.get(name, domains[name]))
+    pairs_ab = [
+        (row_major(2), column_major(2)),
+        (diagonal(), diagonal()),
+    ]
+    pairs_bc = [(column_major(2), row_major(2))]
+    if flip_orientation:
+        network.add_constraint("b", "a", [(b, a) for (a, b) in pairs_ab])
+        network.add_constraint("c", "b", [(b, a) for (a, b) in pairs_bc])
+    else:
+        network.add_constraint("a", "b", pairs_ab)
+        network.add_constraint("b", "c", pairs_bc)
+    return network
+
+
+class TestNetworkFingerprint:
+    def test_insertion_order_is_irrelevant(self):
+        """Permuted variable/domain/constraint insertion, flipped
+        constraint orientation: identical fingerprints."""
+        reference = _toy_network(("a", "b", "c"), {}, flip_orientation=False)
+        permuted = _toy_network(
+            ("c", "a", "b"),
+            {"a": (diagonal(), row_major(2), column_major(2))},
+            flip_orientation=True,
+        )
+        assert network_fingerprint(reference) == network_fingerprint(permuted)
+
+    def test_content_changes_the_fingerprint(self):
+        reference = _toy_network(("a", "b", "c"), {}, flip_orientation=False)
+        shrunk = _toy_network(
+            ("a", "b", "c"),
+            {"c": (row_major(2),)},
+            flip_orientation=False,
+        )
+        assert network_fingerprint(reference) != network_fingerprint(shrunk)
+
+    def test_bench_suite_is_collision_free(self):
+        """The five paper benchmarks give five distinct fingerprints."""
+        options = benchmark_build_options()
+        fingerprints = {
+            network_fingerprint(
+                build_layout_network(build_benchmark(name), options).network
+            )
+            for name in BENCHMARK_NAMES
+        }
+        assert len(fingerprints) == len(BENCHMARK_NAMES)
+
+    def test_generic_value_networks_supported(self):
+        """Fingerprinting also covers the int-valued random networks."""
+        network = ConstraintNetwork()
+        network.add_variable("x", (0, 1, 2))
+        network.add_variable("y", (0, 1))
+        network.add_constraint("x", "y", [(0, 1), (2, 0)])
+        other = ConstraintNetwork()
+        other.add_variable("y", (1, 0))
+        other.add_variable("x", (2, 1, 0))
+        other.add_constraint("y", "x", [(0, 2), (1, 0)])
+        assert network_fingerprint(network) == network_fingerprint(other)
+
+
+class TestProgramFingerprint:
+    def test_stable_across_rebuilds(self):
+        assert program_fingerprint(parse_program(FIGURE2)) == program_fingerprint(
+            parse_program(FIGURE2)
+        )
+
+    def test_declaration_order_is_irrelevant(self):
+        program = parse_program(FIGURE2)
+        reordered = Program(
+            program.name,
+            tuple(reversed(program.arrays)),
+            tuple(reversed(program.nests)),
+        )
+        assert program_fingerprint(program) == program_fingerprint(reordered)
+
+    def test_name_is_excluded_but_structure_included(self):
+        program = parse_program(FIGURE2, name="one")
+        renamed = parse_program(FIGURE2, name="two")
+        assert program_fingerprint(program) == program_fingerprint(renamed)
+        changed = parse_program(FIGURE2.replace("Q2[i1+i2][i1]", "Q2[i1][i2]"))
+        assert program_fingerprint(program) != program_fingerprint(changed)
+
+    def test_bench_suite_is_collision_free(self):
+        fingerprints = {
+            program_fingerprint(build_benchmark(name)) for name in BENCHMARK_NAMES
+        }
+        assert len(fingerprints) == len(BENCHMARK_NAMES)
+
+
+class TestRequestFingerprint:
+    def test_options_are_part_of_the_key(self):
+        program = parse_program(FIGURE2)
+        plain = request_fingerprint(program, BuildOptions())
+        skewed = request_fingerprint(program, BuildOptions(skew_factors=(1, 2)))
+        assert plain != skewed
+
+    def test_default_options_are_explicit_defaults(self):
+        program = parse_program(FIGURE2)
+        assert request_fingerprint(program) == request_fingerprint(
+            program, BuildOptions()
+        )
+
+    def test_options_token_is_readable(self):
+        token = options_token(benchmark_build_options())
+        assert "skew=[1, 2, 3]" in token
+
+
+class TestValueTokens:
+    def test_layouts_and_lookalikes_stay_distinct(self):
+        layout = row_major(2)
+        assert canonical_value_token(layout) != canonical_value_token(layout.rows)
+        assert canonical_value_token(1) != canonical_value_token("1")
+        assert canonical_value_token(1) != canonical_value_token(True)
+        assert canonical_value_token((1, 2)) == canonical_value_token((1, 2))

@@ -1,0 +1,249 @@
+"""Portfolio racing: correctness vs single schemes, deadlines, caching."""
+
+import time
+
+import pytest
+
+from repro.bench import benchmark_build_options, build_benchmark
+from repro.csp.stats import SolverResult, SolverStats
+from repro.ir.parser import parse_program
+from repro.opt.network_builder import BuildOptions, build_layout_network
+from repro.opt.optimizer import LayoutOptimizer
+from repro.service.cache import ResultCache
+from repro.service.portfolio import (
+    EXTRA_SCHEMES,
+    PortfolioConfig,
+    PortfolioResult,
+    PortfolioSolver,
+    SchemeOutcome,
+)
+
+FIGURE2 = """
+array Q1[520][260]
+array Q2[520][260]
+nest fig2 {
+    for i1 = 0 .. 259 {
+        for i2 = 0 .. 259 {
+            Q1[i1+i2][i2] = Q2[i1+i2][i1]
+        }
+    }
+}
+"""
+
+#: How long the deliberately slow scheme sleeps; the racing tests
+#: assert completion in a fraction of this.
+SLEEP_SECONDS = 20.0
+
+
+class _SleepySolver:
+    """Burns wall-clock time, then gives up (never wins a race)."""
+
+    name = "sleepy"
+
+    def solve(self, network) -> SolverResult:
+        time.sleep(SLEEP_SECONDS)
+        return SolverResult(None, SolverStats(), complete=False)
+
+
+@pytest.fixture
+def sleepy_schemes():
+    """Two slow schemes registered for the duration of one test."""
+    EXTRA_SCHEMES["sleepy-a"] = lambda seed: _SleepySolver()
+    EXTRA_SCHEMES["sleepy-b"] = lambda seed: _SleepySolver()
+    try:
+        yield ("sleepy-a", "sleepy-b")
+    finally:
+        EXTRA_SCHEMES.pop("sleepy-a", None)
+        EXTRA_SCHEMES.pop("sleepy-b", None)
+
+
+class TestConfig:
+    def test_parse(self):
+        config = PortfolioConfig.parse("enhanced, cbj ,weighted", seed=3)
+        assert config.schemes == ("enhanced", "cbj", "weighted")
+        assert config.seed == 3
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown portfolio schemes"):
+            PortfolioConfig(schemes=("enhanced", "quantum"))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PortfolioConfig(schemes=("enhanced", "enhanced"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PortfolioConfig(schemes=())
+
+    def test_token_ignores_latency_knobs(self):
+        """Deadline/parallelism change speed, not answers: same key."""
+        fast = PortfolioConfig(deadline_seconds=1.0, parallel=False)
+        slow = PortfolioConfig(deadline_seconds=900.0, parallel=True)
+        assert fast.token() == slow.token()
+        other = PortfolioConfig(schemes=("enhanced",))
+        assert fast.token() != other.token()
+
+
+class TestRacingCorrectness:
+    @pytest.mark.parametrize("name", ["MxM", "Med-Im04"])
+    def test_portfolio_equals_best_single_scheme(self, name):
+        """Sequential portfolio = first scheme that solves exactly, so
+        its layouts equal that single scheme's layouts exactly."""
+        program = build_benchmark(name)
+        options = benchmark_build_options()
+        config = PortfolioConfig(
+            schemes=("enhanced", "cbj", "weighted"), parallel=False
+        )
+        portfolio = PortfolioSolver(config, options=options).optimize(program)
+        single = LayoutOptimizer(scheme="enhanced", options=options).optimize(
+            program
+        )
+        assert portfolio.exact and single.exact
+        assert portfolio.winner == "enhanced"
+        assert portfolio.layouts == single.layouts
+
+    def test_parallel_race_finds_exact_solution(self):
+        program = build_benchmark("MxM")
+        options = benchmark_build_options()
+        config = PortfolioConfig(
+            schemes=("enhanced", "cbj", "weighted"), deadline_seconds=120.0
+        )
+        result = PortfolioSolver(config, options=options).optimize(program)
+        assert result.exact
+        assert result.winner in config.schemes
+        network = build_layout_network(program, options).network
+        assignment = {
+            variable: result.layouts[variable] for variable in network.variables
+        }
+        assert network.is_solution(assignment)
+        assert {o.scheme for o in result.outcomes} <= set(config.schemes)
+
+    def test_winner_row_is_marked_won(self):
+        program = parse_program(FIGURE2)
+        config = PortfolioConfig(schemes=("enhanced", "cbj"), parallel=False)
+        result = PortfolioSolver(config).optimize(program)
+        rows = {o.scheme: o.status for o in result.outcomes}
+        assert rows[result.winner] == "won"
+
+
+class TestDeadlines:
+    def test_race_cancels_stragglers(self, sleepy_schemes):
+        """A fast scheme wins and the sleepers are terminated, so the
+        race takes a fraction of their sleep time."""
+        program = parse_program(FIGURE2)
+        config = PortfolioConfig(
+            schemes=sleepy_schemes + ("enhanced",),
+            deadline_seconds=SLEEP_SECONDS * 4,
+        )
+        start = time.perf_counter()
+        result = PortfolioSolver(config).optimize(program)
+        elapsed = time.perf_counter() - start
+        assert elapsed < SLEEP_SECONDS / 2
+        assert result.winner == "enhanced"
+        assert result.exact
+        statuses = {o.scheme: o.status for o in result.outcomes}
+        assert statuses["enhanced"] == "won"
+        assert statuses[sleepy_schemes[0]] == "cancelled"
+        assert statuses[sleepy_schemes[1]] == "cancelled"
+
+    def test_deadline_terminates_the_race(self, sleepy_schemes):
+        """All schemes stuck: the deadline fires, stragglers report
+        'timeout', and the weighted fallback still produces layouts."""
+        program = parse_program(FIGURE2)
+        config = PortfolioConfig(
+            schemes=sleepy_schemes, deadline_seconds=1.0
+        )
+        start = time.perf_counter()
+        result = PortfolioSolver(config).optimize(program)
+        elapsed = time.perf_counter() - start
+        assert elapsed < SLEEP_SECONDS / 2
+        statuses = {o.scheme: o.status for o in result.outcomes}
+        assert statuses[sleepy_schemes[0]] == "timeout"
+        assert statuses[sleepy_schemes[1]] == "timeout"
+        assert result.winner == "weighted-fallback"
+        assert result.exact  # figure 2's network is satisfiable
+        assert set(result.layouts) == {"Q1", "Q2"}
+
+
+class TestCachingIntegration:
+    def test_second_request_is_served_from_cache(self):
+        program = parse_program(FIGURE2)
+        cache = ResultCache()
+        solver = PortfolioSolver(
+            PortfolioConfig(schemes=("enhanced",), parallel=False), cache=cache
+        )
+        first = solver.optimize(program)
+        second = solver.optimize(program)
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.layouts == first.layouts
+        assert second.winner == first.winner
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_non_exact_results_are_not_cached(self, monkeypatch):
+        """Best-effort answers are deadline-shaped; caching one would
+        freeze it even for retries with a bigger budget."""
+        from repro.layout.layout import row_major
+
+        program = parse_program(FIGURE2)
+        cache = ResultCache()
+        solver = PortfolioSolver(
+            PortfolioConfig(schemes=("enhanced",), parallel=False), cache=cache
+        )
+        monkeypatch.setattr(
+            solver,
+            "_race",
+            lambda network, weights: (
+                "enhanced",
+                False,
+                {"Q1": row_major(2), "Q2": row_major(2)},
+                (),
+            ),
+        )
+        result = solver.optimize(program)
+        assert not result.exact
+        assert len(cache) == 0
+
+    def test_cache_hit_reports_the_requesters_program_name(self):
+        """Fingerprints ignore names: a renamed twin is served from
+        cache but reported under its own name."""
+        cache = ResultCache()
+        solver = PortfolioSolver(
+            PortfolioConfig(schemes=("enhanced",), parallel=False), cache=cache
+        )
+        solver.optimize(parse_program(FIGURE2, name="original"))
+        twin = solver.optimize(parse_program(FIGURE2, name="renamed-twin"))
+        assert twin.from_cache
+        assert twin.program == "renamed-twin"
+
+    def test_result_roundtrips_through_serialization(self):
+        program = parse_program(FIGURE2)
+        solver = PortfolioSolver(
+            PortfolioConfig(schemes=("enhanced", "weighted"), parallel=False)
+        )
+        result = solver.optimize(program)
+        clone = PortfolioResult.from_dict(result.to_dict(), from_cache=True)
+        assert clone.layouts == result.layouts
+        assert clone.winner == result.winner
+        assert clone.exact == result.exact
+        assert [o.scheme for o in clone.outcomes] == [
+            o.scheme for o in result.outcomes
+        ]
+        assert clone.winner_stats().nodes == result.winner_stats().nodes
+
+
+class TestOptimizerIntegration:
+    def test_portfolio_scheme_string(self):
+        program = parse_program(FIGURE2)
+        outcome = LayoutOptimizer(scheme="portfolio:enhanced,cbj").optimize(
+            program
+        )
+        assert outcome.scheme.startswith("portfolio:")
+        assert outcome.exact
+
+    def test_portfolio_config_instance(self):
+        program = parse_program(FIGURE2)
+        config = PortfolioConfig(schemes=("enhanced",), parallel=False)
+        outcome = LayoutOptimizer(scheme=config).optimize(program)
+        assert outcome.scheme == "portfolio:enhanced"
+        assert outcome.exact
