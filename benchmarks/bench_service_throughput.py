@@ -11,6 +11,8 @@ scale with the worker pool.
 Run:  pytest benchmarks/bench_service_throughput.py --benchmark-only -s
 """
 
+import os
+
 import pytest
 
 from repro.bench import random_suite
@@ -21,13 +23,19 @@ from benchmarks.conftest import HARNESS_SEED
 #: The racing line-up measured here (the acceptance-criteria set).
 PORTFOLIO = ("enhanced", "cbj", "weighted")
 
+#: Worker-pool sizes for the cold batch; ``REPRO_BENCH_WORKERS=2``
+#: (say) turns the scaling sweep into a single CI smoke run.
+WORKER_COUNTS = tuple(
+    int(entry) for entry in os.environ.get("REPRO_BENCH_WORKERS", "1,4").split(",")
+)
+
 
 def _batch_programs(programs):
     """Five paper benchmarks plus deterministic synthetic filler."""
     return list(programs.values()) + list(random_suite(5, seed=HARNESS_SEED))
 
 
-@pytest.mark.parametrize("workers", [1, 4])
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
 def test_cold_batch_throughput(benchmark, workers, programs, build_options):
     """Cold-cache batch: every program races the full portfolio."""
     batch = _batch_programs(programs)

@@ -11,6 +11,8 @@ rows next to the paper's numbers; run with ``-s`` to see them inline::
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench import benchmark_build_options, build_benchmark, BENCHMARK_NAMES
@@ -24,7 +26,9 @@ from repro.simul.executor import simulate_program
 
 #: Node cap for the slowest (base-scheme) runs: keeps a pathological
 #: seed from stalling the harness; capped runs are reported as such.
-BASE_NODE_CAP = 40_000_000
+#: ``REPRO_BENCH_NODE_CAP`` shrinks it for smoke runs (CI runs the
+#: harness at a tiny size purely to catch kernel perf regressions).
+BASE_NODE_CAP = int(os.environ.get("REPRO_BENCH_NODE_CAP", 40_000_000))
 
 #: Solver seed used for every randomized run in the harness.
 HARNESS_SEED = 1

@@ -2,7 +2,10 @@
 
 ``pip install -e .`` needs ``wheel`` for PEP 660 editable installs; on
 offline machines without it, ``python setup.py develop`` installs the
-same editable package using only setuptools.
+same editable package using only setuptools.  All package metadata
+(name, version, src/ layout, entry points) lives in ``pyproject.toml``;
+this shim only exists so the setuptools command-line path keeps
+working.
 """
 
 from setuptools import setup

@@ -74,7 +74,7 @@ from repro.service import (
 )
 
 #: Package version; surfaced by ``python -m repro.service --version``.
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AffineExpr",

@@ -2,7 +2,11 @@
 
 * :mod:`repro.csp.network` -- the binary constraint network
   ``CN = <P, M, S>``: variables, per-variable domains, and binary
-  constraints given as sets of allowed value pairs.
+  constraints given as sets of allowed value pairs (the *authoring*
+  representation).
+* :mod:`repro.csp.compiled` -- the *execution* representation: dense
+  integer indices and per-value support bitmasks; every solver below
+  runs its inner loop on this kernel.
 * :mod:`repro.csp.stats` -- search instrumentation shared by all
   solvers (nodes, backtracks, backjumps, consistency checks, time).
 * :mod:`repro.csp.backtracking` -- the paper's *base scheme*:
@@ -23,6 +27,7 @@
 """
 
 from repro.csp.network import BinaryConstraint, ConstraintNetwork
+from repro.csp.compiled import CompiledNetwork, compile_network
 from repro.csp.stats import SolverStats, SolverResult
 from repro.csp.backtracking import BacktrackingSolver
 from repro.csp.enhanced import EnhancedSolver, EnhancementConfig
@@ -36,6 +41,8 @@ from repro.csp.random_networks import random_network
 __all__ = [
     "BinaryConstraint",
     "ConstraintNetwork",
+    "CompiledNetwork",
+    "compile_network",
     "SolverStats",
     "SolverResult",
     "BacktrackingSolver",

@@ -5,6 +5,10 @@ support in some neighboring domain.  On layout networks this often
 shrinks domains substantially (an array layout wanted by no consistent
 restructuring of any nest is dropped up front), and can prove
 unsatisfiability without any search at all.
+
+The revision loop runs on the compiled kernel: a value survives iff its
+support bitmask intersects the source's live domain mask -- one AND per
+value instead of a nested any()-scan over the pair set.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Hashable
 
+from repro.csp.compiled import CompiledNetwork, as_compiled, iter_bits
 from repro.csp.network import ConstraintNetwork
 
 Value = Hashable
@@ -35,47 +40,44 @@ class ArcConsistencyResult:
     removed: int
 
 
-def ac3(network: ConstraintNetwork) -> ArcConsistencyResult:
+def ac3(network: ConstraintNetwork | CompiledNetwork) -> ArcConsistencyResult:
     """Run AC-3 on the network and return the reduced domains.
 
     The input network is not modified; use
     :meth:`ConstraintNetwork.copy_with_domains` to build the pruned
     network when the result is consistent.
     """
-    domains: dict[str, list[Value]] = {
-        variable: list(network.domain(variable))
-        for variable in network.variables
-    }
-    queue: deque[tuple[str, str]] = deque()
-    for constraint in network.constraints:
-        queue.append((constraint.first, constraint.second))
-        queue.append((constraint.second, constraint.first))
+    kernel = as_compiled(network)
+    masks = list(kernel.full_masks)
+    queue: deque[tuple[int, int]] = deque()
+    for first, second in kernel.pairs:
+        queue.append((first, second))
+        queue.append((second, first))
 
+    supports = kernel.supports
     revisions = 0
     removed = 0
     while queue:
         target, source = queue.popleft()
         revisions += 1
-        constraint = network.constraint_between(target, source)
-        assert constraint is not None
+        support = supports[(target, source)]
+        source_mask = masks[source]
+        surviving = masks[target]
         pruned_here = False
-        for value in list(domains[target]):
-            if not any(
-                constraint.allows(target, value, support)
-                for support in domains[source]
-            ):
-                domains[target].remove(value)
+        for value in iter_bits(masks[target]):
+            if not support[value] & source_mask:
+                surviving ^= 1 << value
                 removed += 1
                 pruned_here = True
-        if not domains[target]:
+        masks[target] = surviving
+        if not surviving:
             return ArcConsistencyResult(False, {}, revisions, removed)
         if pruned_here:
-            for neighbor in network.neighbors(target):
+            for neighbor in kernel.neighbors[target]:
                 if neighbor != source:
                     queue.append((neighbor, target))
-    return ArcConsistencyResult(
-        True,
-        {variable: tuple(values) for variable, values in domains.items()},
-        revisions,
-        removed,
-    )
+    domains = {
+        kernel.names[i]: tuple(kernel.domains[i][value] for value in iter_bits(masks[i]))
+        for i in range(kernel.variable_count)
+    }
+    return ArcConsistencyResult(True, domains, revisions, removed)

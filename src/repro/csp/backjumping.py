@@ -12,6 +12,7 @@ conclusion anticipates.
 from __future__ import annotations
 
 from repro.csp.engine import EngineConfig, JUMP_CONFLICT, SearchEngine
+from repro.csp.compiled import CompiledNetwork
 from repro.csp.network import ConstraintNetwork
 from repro.csp.stats import SolverResult
 
@@ -31,6 +32,6 @@ class ConflictDirectedSolver:
             )
         )
 
-    def solve(self, network: ConstraintNetwork) -> SolverResult:
+    def solve(self, network: ConstraintNetwork | CompiledNetwork) -> SolverResult:
         """Find one solution (or prove there is none)."""
         return self._engine.solve(network)

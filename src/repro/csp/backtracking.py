@@ -11,6 +11,7 @@ order of attempted values are random, seeded for reproducibility.
 from __future__ import annotations
 
 from repro.csp.engine import EngineConfig, JUMP_CHRONOLOGICAL, SearchEngine
+from repro.csp.compiled import CompiledNetwork
 from repro.csp.network import ConstraintNetwork
 from repro.csp.stats import SolverResult
 
@@ -35,6 +36,6 @@ class BacktrackingSolver:
             )
         )
 
-    def solve(self, network: ConstraintNetwork) -> SolverResult:
+    def solve(self, network: ConstraintNetwork | CompiledNetwork) -> SolverResult:
         """Find one solution (or prove there is none)."""
         return self._engine.solve(network)

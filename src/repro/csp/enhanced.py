@@ -24,6 +24,7 @@ from repro.csp.engine import (
     JUMP_GRAPH,
     SearchEngine,
 )
+from repro.csp.compiled import CompiledNetwork
 from repro.csp.network import ConstraintNetwork
 from repro.csp.stats import SolverResult
 
@@ -90,6 +91,6 @@ class EnhancedSolver:
         """The active enhancement toggles."""
         return self._config
 
-    def solve(self, network: ConstraintNetwork) -> SolverResult:
+    def solve(self, network: ConstraintNetwork | CompiledNetwork) -> SolverResult:
         """Find one solution (or prove there is none)."""
         return self._engine.solve(network)

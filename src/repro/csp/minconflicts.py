@@ -5,17 +5,19 @@ conflicted variable to the value minimizing its conflict count, with
 random restarts.  Useful as a fast incomplete alternative on very large
 networks and as a cross-check oracle in tests (any assignment it
 returns is verified by :meth:`ConstraintNetwork.is_solution`).
+
+The conflict counting runs on the compiled kernel (one shift-and-mask
+per neighbor); the RNG stream is identical to the historical
+object-based implementation, so seeded runs reproduce the same walks.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Hashable
 
+from repro.csp.compiled import CompiledNetwork, as_compiled
 from repro.csp.network import ConstraintNetwork
 from repro.csp.stats import SolverResult, SolverStats, Stopwatch
-
-Value = Hashable
 
 
 class MinConflictsSolver:
@@ -35,17 +37,18 @@ class MinConflictsSolver:
         self._max_steps = max_steps
         self._max_restarts = max_restarts
 
-    def solve(self, network: ConstraintNetwork) -> SolverResult:
+    def solve(self, network: ConstraintNetwork | CompiledNetwork) -> SolverResult:
         """Search for a solution; gives up after the step/restart budget."""
+        kernel = as_compiled(network)
         stats = SolverStats()
         rng = random.Random(self._seed)
         with Stopwatch(stats):
             for _ in range(self._max_restarts):
-                assignment = {
-                    variable: rng.choice(network.domain(variable))
-                    for variable in network.variables
-                }
-                solution = self._improve(network, assignment, rng, stats)
+                values = [
+                    rng.randrange(kernel.domain_size(variable))
+                    for variable in range(kernel.variable_count)
+                ]
+                solution = self._improve(kernel, values, rng, stats)
                 if solution is not None:
                     return SolverResult(solution, stats, complete=False)
                 stats.restarts += 1
@@ -53,64 +56,61 @@ class MinConflictsSolver:
 
     def _improve(
         self,
-        network: ConstraintNetwork,
-        assignment: dict[str, Value],
+        kernel: CompiledNetwork,
+        values: list[int],
         rng: random.Random,
         stats: SolverStats,
-    ) -> dict[str, Value] | None:
+    ) -> dict | None:
         for _ in range(self._max_steps):
-            conflicted = self._conflicted_variables(network, assignment, stats)
+            conflicted = self._conflicted_variables(kernel, values, stats)
             if not conflicted:
-                return dict(assignment)
+                return kernel.to_named(values)
             variable = rng.choice(conflicted)
-            assignment[variable] = self._best_value(
-                network, variable, assignment, rng, stats
+            values[variable] = self._best_value(
+                kernel, variable, values, rng, stats
             )
             stats.nodes += 1
         return None
 
     def _conflicted_variables(
         self,
-        network: ConstraintNetwork,
-        assignment: dict[str, Value],
+        kernel: CompiledNetwork,
+        values: list[int],
         stats: SolverStats,
-    ) -> list[str]:
+    ) -> list[int]:
         conflicted = []
-        for variable in network.variables:
-            if self._conflict_count(network, variable, assignment[variable], assignment, stats):
+        for variable in range(kernel.variable_count):
+            if self._conflict_count(kernel, variable, values[variable], values, stats):
                 conflicted.append(variable)
         return conflicted
 
     def _conflict_count(
         self,
-        network: ConstraintNetwork,
-        variable: str,
-        value: Value,
-        assignment: dict[str, Value],
+        kernel: CompiledNetwork,
+        variable: int,
+        value: int,
+        values: list[int],
         stats: SolverStats,
     ) -> int:
         count = 0
-        for neighbor in network.neighbors(variable):
-            constraint = network.constraint_between(variable, neighbor)
-            assert constraint is not None
+        supports = kernel.supports
+        for neighbor in kernel.neighbors[variable]:
             stats.consistency_checks += 1
-            if not constraint.allows(variable, value, assignment[neighbor]):
+            if not (supports[(variable, neighbor)][value] >> values[neighbor]) & 1:
                 count += 1
         return count
 
     def _best_value(
         self,
-        network: ConstraintNetwork,
-        variable: str,
-        assignment: dict[str, Value],
+        kernel: CompiledNetwork,
+        variable: int,
+        values: list[int],
         rng: random.Random,
         stats: SolverStats,
-    ) -> Value:
-        scored: list[tuple[int, Value]] = []
-        for value in network.domain(variable):
-            conflicts = self._conflict_count(
-                network, variable, value, assignment, stats
-            )
+    ) -> int:
+        scored: list[tuple[int, int]] = []
+        for value in range(kernel.domain_size(variable)):
+            conflicts = self._conflict_count(kernel, variable, value, values, stats)
             scored.append((conflicts, value))
         best = min(score for score, _ in scored)
         candidates = [value for score, value in scored if score == best]

@@ -6,11 +6,19 @@ candidate memory layouts; each constraint ``S_ij`` is a set of allowed
 nest touching both arrays (paper, Section 3).  The classes here are
 generic over hashable values, so the same machinery runs the layout
 networks, the random scaling networks and the unit-test toys.
+
+This is the *authoring* tier: convenient to build, inspect and reason
+about.  The solvers run on the *execution* tier --
+:mod:`repro.csp.compiled` interns variables and values to dense integer
+indices and turns every constraint into per-value support bitmasks;
+:func:`repro.csp.compiled.compile_network` converts (cached, keyed on
+:attr:`ConstraintNetwork.revision`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Hashable, Iterable, Mapping, Sequence
 
 Value = Hashable
@@ -61,12 +69,38 @@ class BinaryConstraint:
             return (other_value, value) in self.pairs
         raise ValueError(f"{variable} not in constraint ({self.first},{self.second})")
 
+    @cached_property
+    def _support_index(
+        self,
+    ) -> tuple[dict[Value, frozenset[Value]], dict[Value, frozenset[Value]]]:
+        """Per-value support sets, built lazily on first use.
+
+        ``(by_second, by_first)``: ``by_second[b]`` is the set of first
+        values compatible with ``second = b`` and vice versa.  (Stored
+        in the instance ``__dict__``, so the frozen dataclass's
+        equality and hash -- fields only -- are unaffected.)
+        """
+        by_second: dict[Value, set[Value]] = {}
+        by_first: dict[Value, set[Value]] = {}
+        for a, b in self.pairs:
+            by_second.setdefault(b, set()).add(a)
+            by_first.setdefault(a, set()).add(b)
+        return (
+            {b: frozenset(values) for b, values in by_second.items()},
+            {a: frozenset(values) for a, values in by_first.items()},
+        )
+
     def supported_values(self, variable: str, other_value: Value) -> frozenset[Value]:
-        """Values of ``variable`` compatible with the other side's value."""
+        """Values of ``variable`` compatible with the other side's value.
+
+        O(1) after the first call on the constraint: the support sets
+        are indexed lazily instead of rescanning the full pair set.
+        """
+        by_second, by_first = self._support_index
         if variable == self.first:
-            return frozenset(a for (a, b) in self.pairs if b == other_value)
+            return by_second.get(other_value, frozenset())
         if variable == self.second:
-            return frozenset(b for (a, b) in self.pairs if a == other_value)
+            return by_first.get(other_value, frozenset())
         raise ValueError(f"{variable} not in constraint ({self.first},{self.second})")
 
 
@@ -83,6 +117,7 @@ class ConstraintNetwork:
         self._domains: dict[str, tuple[Value, ...]] = {}
         self._constraints: dict[frozenset[str], BinaryConstraint] = {}
         self._neighbors: dict[str, set[str]] = {}
+        self._revision = 0
 
     # -- construction ---------------------------------------------------
 
@@ -101,6 +136,7 @@ class ConstraintNetwork:
             raise ValueError(f"variable {name} domain has duplicates")
         self._domains[name] = values
         self._neighbors[name] = set()
+        self._revision += 1
 
     def add_constraint(
         self, first: str, second: str, pairs: Iterable[tuple[Value, Value]]
@@ -142,12 +178,19 @@ class ConstraintNetwork:
             self._constraints[key] = BinaryConstraint(
                 existing.first, existing.second, merged
             )
+            self._revision += 1
             return
         self._constraints[key] = BinaryConstraint(first, second, pair_set)
         self._neighbors[first].add(second)
         self._neighbors[second].add(first)
+        self._revision += 1
 
     # -- queries ----------------------------------------------------------
+
+    @property
+    def revision(self) -> int:
+        """Mutation counter; keys the cached compiled kernel."""
+        return self._revision
 
     @property
     def variables(self) -> tuple[str, ...]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Mapping
 
+from repro.csp.compiled import CompiledNetwork, as_compiled
 from repro.csp.network import ConstraintNetwork
 from repro.csp.stats import SolverStats, Stopwatch
 
@@ -98,49 +99,94 @@ class BranchAndBoundSolver:
 
     Branches over variables in static max-degree order; prunes a branch
     when the weight already lost (violated constraints among assigned
-    variables) cannot be recovered.
+    variables) cannot be recovered.  The inner loop runs on the
+    compiled kernel: a violation test is one shift-and-mask, weights
+    are looked up per index pair.
     """
 
     name = "branch-and-bound"
 
     def solve(self, weighted: WeightedNetwork) -> WeightedResult:
         """Find the assignment maximizing satisfied weight (exact)."""
-        network = weighted.network
+        kernel = as_compiled(weighted.network)
+        weight_of = {
+            pair: weighted.weight_between(kernel.names[pair[0]], kernel.names[pair[1]])
+            for pair in kernel.pairs
+        }
+        return self._solve(kernel, weight_of)
+
+    def solve_compiled(
+        self,
+        kernel: CompiledNetwork,
+        weights: Mapping[frozenset[str], float] | None = None,
+        default_weight: float = 1.0,
+    ) -> WeightedResult:
+        """Solve directly on a compiled kernel plus a name-keyed weight map.
+
+        This is the path the service layer uses: the race ships one
+        compiled kernel to every worker, so no worker rebuilds a
+        :class:`WeightedNetwork` (or recompiles) just to attach weights.
+
+        Raises:
+            ValueError: for non-positive weights.
+        """
+        if default_weight <= 0:
+            raise ValueError("default_weight must be positive")
+        weight_of: dict[tuple[int, int], float] = {}
+        for first, second in kernel.pairs:
+            key = frozenset((kernel.names[first], kernel.names[second]))
+            weight = default_weight
+            if weights is not None and key in weights:
+                weight = weights[key]
+            if weight <= 0:
+                raise ValueError(f"constraint {sorted(key)} has non-positive weight")
+            weight_of[(first, second)] = float(weight)
+        return self._solve(kernel, weight_of)
+
+    def _solve(
+        self, kernel: CompiledNetwork, weight_of: dict[tuple[int, int], float]
+    ) -> WeightedResult:
+        # Index the weights under both orientations so the inner loop
+        # never normalizes a pair.
+        for (first, second), weight in list(weight_of.items()):
+            weight_of[(second, first)] = weight
         stats = SolverStats()
         with Stopwatch(stats):
             order = sorted(
-                network.variables,
-                key=lambda v: (-network.degree(v), v),
+                range(kernel.variable_count),
+                key=lambda v: (-len(kernel.neighbors[v]), kernel.name_rank[v]),
             )
+            values: list[int | None] = [None] * kernel.variable_count
             best: dict[str, Value] = {}
             best_lost = float("inf")
+            supports = kernel.supports
+            neighbors = kernel.neighbors
 
-            def search(index: int, assignment: dict[str, Value], lost: float) -> None:
+            def search(index: int, lost: float) -> None:
                 nonlocal best, best_lost
                 if lost >= best_lost:
                     return
                 if index == len(order):
-                    best = dict(assignment)
+                    best = kernel.to_named(values)
                     best_lost = lost
                     return
                 variable = order[index]
-                for value in network.domain(variable):
+                for value in range(kernel.domain_size(variable)):
                     stats.nodes += 1
                     additional = 0.0
-                    for neighbor in network.neighbors(variable):
-                        if neighbor not in assignment:
+                    for neighbor in neighbors[variable]:
+                        neighbor_value = values[neighbor]
+                        if neighbor_value is None:
                             continue
-                        constraint = network.constraint_between(variable, neighbor)
-                        assert constraint is not None
                         stats.consistency_checks += 1
-                        if not constraint.allows(
-                            variable, value, assignment[neighbor]
-                        ):
-                            additional += weighted.weight_between(variable, neighbor)
-                    assignment[variable] = value
-                    search(index + 1, assignment, lost + additional)
-                    del assignment[variable]
+                        if not (
+                            supports[(variable, neighbor)][value] >> neighbor_value
+                        ) & 1:
+                            additional += weight_of[(variable, neighbor)]
+                    values[variable] = value
+                    search(index + 1, lost + additional)
+                    values[variable] = None
 
-            search(0, {}, 0.0)
-        total = weighted.total_weight
+            search(0, 0.0)
+        total = sum(weight for pair, weight in weight_of.items() if pair[0] < pair[1])
         return WeightedResult(best, total - best_lost, total, stats)

@@ -75,18 +75,31 @@ def nest_layout_combos(
     Combos with identical assignments (different transforms inducing
     the same layouts) are deduplicated, keeping the first transform's
     name; combos constraining no array are dropped.
+
+    Results are memoized on the (immutable) program: deriving the
+    combos means enumerating legal unimodular transforms and running
+    exact rational linear algebra per transform, and every consumer --
+    the per-array domain derivation, the network builder, the heuristic
+    optimizer -- asks for the same nests.  The memo rides along when a
+    program is pickled to a worker process, so workers skip the
+    enumeration too.
     """
-    combos: list[LayoutCombo] = []
-    seen: set[tuple[tuple[str, Layout], ...]] = set()
-    for transform in legal_transforms(nest, include_reversals, skew_factors):
-        combo = _combo_for_transform(program, nest, transform)
-        if not combo.assignments:
-            continue
-        if combo.assignments in seen:
-            continue
-        seen.add(combo.assignments)
-        combos.append(combo)
-    return combos
+    cache = program.__dict__.setdefault("_layout_combo_cache", {})
+    key = (nest.name, include_reversals, tuple(skew_factors))
+    combos = cache.get(key)
+    if combos is None:
+        combos = []
+        seen: set[tuple[tuple[str, Layout], ...]] = set()
+        for transform in legal_transforms(nest, include_reversals, skew_factors):
+            combo = _combo_for_transform(program, nest, transform)
+            if not combo.assignments:
+                continue
+            if combo.assignments in seen:
+                continue
+            seen.add(combo.assignments)
+            combos.append(combo)
+        cache[key] = combos
+    return list(combos)
 
 
 def candidate_layouts_for_array(

@@ -16,6 +16,7 @@ for ``Q1[i1+i2][i2]`` with innermost direction ``(0 1)`` the delta is
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Sequence
 
 from repro.ir.reference import ArrayRef
@@ -64,10 +65,26 @@ def layout_for_deltas(
             as "no layout preference is achievable" by catching it via
             the ``None`` path of :func:`preferred_layout`.
     """
-    nonzero = [tuple(delta) for delta in deltas if not is_zero_vector(delta)]
+    nonzero = tuple(
+        sorted({tuple(delta) for delta in deltas if not is_zero_vector(delta)})
+    )
     if not nonzero:
         return None
-    columns = mat_transpose(nonzero)  # dimension x n_deltas
+    return _layout_for_nonzero_deltas(nonzero, dimension)
+
+
+@lru_cache(maxsize=16384)
+def _layout_for_nonzero_deltas(
+    nonzero: tuple[tuple[int, ...], ...], dimension: int
+) -> Layout | None:
+    """Cached core of :func:`layout_for_deltas`.
+
+    The solution depends only on the *set* of nonzero deltas (the left
+    null space of their span), so the caller canonicalizes to a sorted
+    deduplicated tuple; distinct transforms of distinct nests routinely
+    produce the same few delta sets.
+    """
+    columns = mat_transpose(list(nonzero))  # dimension x n_deltas
     basis = left_nullspace_basis(columns)
     if not basis:
         return None

@@ -13,6 +13,7 @@ non-primitive vectors (primitive vectors keep the inflation minimal).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 from repro.ir.arrays import ArrayDecl
@@ -46,35 +47,15 @@ class LayoutMapping:
     def create(decl: ArrayDecl, layout: Layout) -> "LayoutMapping":
         """Build the mapping for an array under a layout.
 
+        Cached: the mapping is a pure function of the two (immutable)
+        arguments, and its unimodular completion plus bounding-box scan
+        are exact-rational work the optimizer's repair pass would
+        otherwise repeat for every candidate swap.
+
         Raises:
             ValueError: if the layout rank does not match the array.
         """
-        if layout.dimension != decl.rank:
-            raise ValueError(
-                f"layout rank {layout.dimension} does not match array "
-                f"{decl.name} rank {decl.rank}"
-            )
-        transform = complete_to_unimodular(layout.rows, decl.rank)
-        box = decl.index_box()
-        lows: list[int] = []
-        extents: list[int] = []
-        for row in transform:
-            low, high = affine_range_over_box(row, 0, box)
-            lows.append(low)
-            extents.append(high - low + 1)
-        strides = [0] * decl.rank
-        running = 1
-        for axis in range(decl.rank - 1, -1, -1):
-            strides[axis] = running
-            running *= extents[axis]
-        return LayoutMapping(
-            decl,
-            layout,
-            transform,
-            tuple(lows),
-            tuple(extents),
-            tuple(strides),
-        )
+        return _create_mapping(decl, layout)
 
     @property
     def footprint_elements(self) -> int:
@@ -105,3 +86,34 @@ class LayoutMapping:
     def byte_offset_of(self, index: Sequence[int]) -> int:
         """Linear byte offset of an array element under this layout."""
         return self.offset_of(index) * self.decl.element_size
+
+
+@lru_cache(maxsize=8192)
+def _create_mapping(decl: ArrayDecl, layout: Layout) -> LayoutMapping:
+    """Cached core of :meth:`LayoutMapping.create`."""
+    if layout.dimension != decl.rank:
+        raise ValueError(
+            f"layout rank {layout.dimension} does not match array "
+            f"{decl.name} rank {decl.rank}"
+        )
+    transform = complete_to_unimodular(layout.rows, decl.rank)
+    box = decl.index_box()
+    lows: list[int] = []
+    extents: list[int] = []
+    for row in transform:
+        low, high = affine_range_over_box(row, 0, box)
+        lows.append(low)
+        extents.append(high - low + 1)
+    strides = [0] * decl.rank
+    running = 1
+    for axis in range(decl.rank - 1, -1, -1):
+        strides[axis] = running
+        running *= extents[axis]
+    return LayoutMapping(
+        decl,
+        layout,
+        transform,
+        tuple(lows),
+        tuple(extents),
+        tuple(strides),
+    )

@@ -11,6 +11,7 @@ job of :func:`complete_to_nonsingular` / :func:`complete_to_unimodular`.
 from __future__ import annotations
 
 from fractions import Fraction
+from functools import lru_cache
 from typing import Sequence
 
 from repro.linalg.matrices import (
@@ -132,6 +133,20 @@ def complete_to_unimodular(rows_in: Sequence[Sequence[int]], size: int) -> IntMa
         ValueError: if the given rows are dependent or mis-sized.
     """
     rows_list = [tuple(int(x) for x in row) for row in rows_in]
+    return _complete_to_unimodular_cached(tuple(rows_list), size)
+
+
+@lru_cache(maxsize=8192)
+def _complete_to_unimodular_cached(
+    rows_list: tuple[tuple[int, ...], ...], size: int
+) -> IntMatrix:
+    """Cached core of :func:`complete_to_unimodular`.
+
+    The handful of hyperplane row-sets a workload uses (row-major,
+    column-major, diagonals, small skews) recurs across every array and
+    every request, while the candidate-row search below is the single
+    most expensive step of materializing a layout.
+    """
     base = complete_to_nonsingular(rows_list, size)
     if determinant(base) in (1, -1):
         return base

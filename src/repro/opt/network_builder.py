@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.csp.compiled import CompiledNetwork, compile_network
 from repro.csp.network import ConstraintNetwork
 from repro.csp.weighted import WeightedNetwork
 from repro.ir.program import Program
@@ -63,16 +64,27 @@ class LayoutNetwork:
     """The built network plus provenance information.
 
     Attributes:
-        network: the binary constraint network over array layouts.
+        network: the binary constraint network over array layouts
+            (the authoring representation).
         weights: per-pair constraint weights (nest cost totals).
         combos: the per-nest layout combinations that generated it.
         notes: human-readable remarks (e.g. intersect fallbacks).
+        compiled: the execution-form kernel, compiled once at build
+            time so no consumer (one scheme, a whole racing portfolio,
+            the fingerprinter) ever pays recompilation.
     """
 
     network: ConstraintNetwork
     weights: dict[frozenset[str], float]
     combos: dict[str, list[LayoutCombo]]
     notes: list[str] = field(default_factory=list)
+    compiled: CompiledNetwork | None = None
+
+    def kernel(self) -> CompiledNetwork:
+        """The compiled execution form (compiling lazily if unset)."""
+        if self.compiled is None:
+            self.compiled = compile_network(self.network)
+        return self.compiled
 
     def weighted(self) -> WeightedNetwork:
         """The network with its nest-cost weights attached."""
@@ -181,4 +193,6 @@ def build_layout_network(
             merged = set.union(*source_sets)
         network.add_constraint(first, second, merged)
 
-    return LayoutNetwork(network, weights, combos_by_nest, notes)
+    return LayoutNetwork(
+        network, weights, combos_by_nest, notes, compiled=compile_network(network)
+    )

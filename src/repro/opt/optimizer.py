@@ -123,22 +123,25 @@ class LayoutOptimizer:
             return self._optimize_portfolio(program)
         start = time.perf_counter()
         layout_network = build_layout_network(program, self._options)
+        kernel = layout_network.kernel()
         if isinstance(self._solver, BranchAndBoundSolver):
             # First-class weighted scheme: solve the weighted network
             # directly -- exact iff the hard network is satisfiable.
-            weighted_result = self._solver.solve(layout_network.weighted())
+            weighted_result = self._solver.solve_compiled(
+                kernel, layout_network.weights
+            )
             assignment = dict(weighted_result.assignment)
             stats = weighted_result.stats
             exact = weighted_result.fully_satisfied
         else:
-            result = self._solver.solve(layout_network.network)
+            result = self._solver.solve(kernel)
             exact = result.assignment is not None
             if exact:
                 assignment = dict(result.assignment)
                 stats = result.stats
             else:
-                weighted_result = BranchAndBoundSolver().solve(
-                    layout_network.weighted()
+                weighted_result = BranchAndBoundSolver().solve_compiled(
+                    kernel, layout_network.weights
                 )
                 assignment = dict(weighted_result.assignment)
                 stats = weighted_result.stats
@@ -229,7 +232,12 @@ def repair_inflation(network, assignment: dict, program: Program) -> None:
     )
     from repro.layout.mapping import LayoutMapping
 
+    objective_cache: dict[tuple[str, Layout], tuple[float, int]] = {}
+
     def objective(array: str, layout: Layout) -> tuple[float, int]:
+        cached = objective_cache.get((array, layout))
+        if cached is not None:
+            return cached
         inflation = LayoutMapping.create(program.array(array), layout).inflation
         locality = 0
         for nest in program.nests_referencing(array):
@@ -241,7 +249,9 @@ def repair_inflation(network, assignment: dict, program: Program) -> None:
                     layout, delta
                 ):
                     locality += nest.weight
-        return (inflation, -locality)
+        score = (inflation, -locality)
+        objective_cache[(array, layout)] = score
+        return score
 
     # Iterate to a fixpoint: improving one array can unlock a better
     # swap for a neighbor (bounded: each pass strictly improves the

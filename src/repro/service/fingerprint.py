@@ -25,6 +25,7 @@ import hashlib
 import json
 from typing import Hashable
 
+from repro.csp.compiled import CompiledNetwork, as_compiled
 from repro.csp.network import ConstraintNetwork
 from repro.ir.expr import AffineExpr
 from repro.ir.program import Program
@@ -72,13 +73,21 @@ def _digest(structure) -> str:
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()[:DIGEST_LENGTH]
 
 
-def network_fingerprint(network: ConstraintNetwork) -> str:
+def network_fingerprint(network: ConstraintNetwork | CompiledNetwork) -> str:
     """Fingerprint of a constraint network's variables/domains/constraints.
 
     Insertion order of variables, domains, constraints and pairs does
     not affect the result; neither does constraint orientation.
+
+    The canonical form is produced from the compiled kernel's interning
+    tables (compilation is cached on the network, so a network that has
+    already been solved fingerprints without re-canonicalizing its
+    frozenset pair representation); the digest is identical to the one
+    computed from :meth:`ConstraintNetwork.canonical_form`.
     """
-    variables, constraints = network.canonical_form(canonical_value_token)
+    variables, constraints = as_compiled(network).canonical_form(
+        canonical_value_token
+    )
     return _digest(
         [
             [[name, list(domain)] for name, domain in variables],

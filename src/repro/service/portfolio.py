@@ -14,6 +14,12 @@ expires every straggler is terminated and the best result seen so far
 The portfolio composes with :mod:`repro.service.cache`: results are
 keyed by the request fingerprint and the portfolio's canonical token,
 so repeat programs are served without spawning a single process.
+
+A race compiles the network exactly once (the builder already did, in
+fact -- see :meth:`repro.opt.network_builder.LayoutNetwork.kernel`) and
+ships the *compiled* form (:class:`repro.csp.compiled.CompiledNetwork`)
+to every worker process, so no scheme re-interns values or rebuilds
+support structures.
 """
 
 from __future__ import annotations
@@ -24,9 +30,9 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Hashable, Mapping
 
-from repro.csp.network import ConstraintNetwork
+from repro.csp.compiled import CompiledNetwork
 from repro.csp.stats import SolverStats
-from repro.csp.weighted import BranchAndBoundSolver, WeightedNetwork
+from repro.csp.weighted import BranchAndBoundSolver
 from repro.ir.program import Program
 from repro.layout.layout import Layout, row_major
 from repro.opt.network_builder import BuildOptions, LayoutNetwork, build_layout_network
@@ -238,15 +244,20 @@ def _make_solver(scheme: str, seed: int):
 
 def _solve_scheme(
     scheme: str,
-    network: ConstraintNetwork,
+    kernel: CompiledNetwork,
     weights: Mapping[frozenset[str], float] | None,
     seed: int,
 ) -> dict:
-    """Run one scheme to completion; returns a picklable payload."""
+    """Run one scheme to completion; returns a picklable payload.
+
+    Every scheme runs on the *compiled* kernel: the race compiles the
+    network exactly once and ships the same kernel to every worker, so
+    no scheme pays compilation (or, with ``fork``, even a copy).
+    """
     start = time.perf_counter()
     solver = _make_solver(scheme, seed)
     if isinstance(solver, BranchAndBoundSolver):
-        weighted_result = solver.solve(WeightedNetwork(network, weights))
+        weighted_result = solver.solve_compiled(kernel, weights)
         return {
             "assignment": dict(weighted_result.assignment),
             "sat": True,
@@ -255,7 +266,7 @@ def _solve_scheme(
             "stats": weighted_result.stats.as_dict(),
             "seconds": time.perf_counter() - start,
         }
-    result = solver.solve(network)
+    result = solver.solve(kernel)
     return {
         "assignment": dict(result.assignment) if result.assignment else None,
         "sat": result.satisfiable,
@@ -266,10 +277,10 @@ def _solve_scheme(
     }
 
 
-def _race_worker(result_queue, scheme, network, weights, seed) -> None:
+def _race_worker(result_queue, scheme, kernel, weights, seed) -> None:
     """Process entry point: solve and report (never raises)."""
     try:
-        payload = _solve_scheme(scheme, network, weights, seed)
+        payload = _solve_scheme(scheme, kernel, weights, seed)
         result_queue.put((scheme, payload, None))
     except BaseException as exc:  # report, don't die silently
         result_queue.put((scheme, None, repr(exc)))
@@ -331,15 +342,15 @@ class PortfolioSolver:
         start = time.perf_counter()
         layout_network = build_layout_network(program, self._options)
         winner, exact, assignment, outcomes = self._race(
-            layout_network.network, layout_network.weights
+            layout_network.kernel(), layout_network.weights
         )
         if assignment is None:
             # Nothing came back (all errors/timeouts): fall back to the
             # weighted branch & bound in-process, like LayoutOptimizer
             # does for UNSAT networks -- a best-effort answer always
             # beats none.
-            weighted_result = BranchAndBoundSolver().solve(
-                layout_network.weighted()
+            weighted_result = BranchAndBoundSolver().solve_compiled(
+                layout_network.kernel(), layout_network.weights
             )
             assignment = dict(weighted_result.assignment)
             exact = weighted_result.fully_satisfied
@@ -382,16 +393,20 @@ class PortfolioSolver:
 
     def _race(
         self,
-        network: ConstraintNetwork,
+        kernel: CompiledNetwork,
         weights: Mapping[frozenset[str], float] | None,
     ) -> tuple[str | None, bool, dict | None, tuple[SchemeOutcome, ...]]:
-        """Run every scheme, return (winner, exact, assignment, table)."""
+        """Run every scheme, return (winner, exact, assignment, table).
+
+        The kernel is compiled exactly once (by the network builder);
+        both race modes hand the same compiled form to every scheme.
+        """
         if not self._config.parallel or len(self._config.schemes) == 1:
-            return self._run_sequential(network, weights)
-        return self._run_parallel(network, weights)
+            return self._run_sequential(kernel, weights)
+        return self._run_parallel(kernel, weights)
 
     def _run_sequential(
-        self, network, weights
+        self, kernel, weights
     ) -> tuple[str | None, bool, dict | None, tuple[SchemeOutcome, ...]]:
         deadline = time.perf_counter() + self._config.deadline_seconds
         outcomes: list[SchemeOutcome] = []
@@ -406,7 +421,7 @@ class PortfolioSolver:
                 )
                 break
             try:
-                payload = _solve_scheme(scheme, network, weights, self._config.seed)
+                payload = _solve_scheme(scheme, kernel, weights, self._config.seed)
             except Exception as exc:
                 outcomes.append(
                     SchemeOutcome(scheme=scheme, status="error", detail=repr(exc))
@@ -436,7 +451,7 @@ class PortfolioSolver:
         return self._conclude(winner, fallback, outcomes)
 
     def _run_parallel(
-        self, network, weights
+        self, kernel, weights
     ) -> tuple[str | None, bool, dict | None, tuple[SchemeOutcome, ...]]:
         context = _context()
         result_queue = context.Queue()
@@ -444,7 +459,7 @@ class PortfolioSolver:
         for scheme in self._config.schemes:
             process = context.Process(
                 target=_race_worker,
-                args=(result_queue, scheme, network, weights, self._config.seed),
+                args=(result_queue, scheme, kernel, weights, self._config.seed),
                 daemon=True,
             )
             processes[scheme] = process

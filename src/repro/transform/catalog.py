@@ -25,6 +25,14 @@ from repro.transform.unimodular_loop import (
 )
 
 
+#: (depth, include_reversals, skew_factors) -> transform tuple.  The
+#: catalog is a pure function of these three scalars and enumerating it
+#: means exact rational matrix work per transform, so every nest of the
+#: same depth shares one enumeration for the process lifetime (depths
+#: are tiny -- the cache cannot grow meaningfully).
+_CATALOG_CACHE: dict[tuple, tuple[LoopTransform, ...]] = {}
+
+
 def candidate_transforms(
     depth: int,
     include_reversals: bool = False,
@@ -40,6 +48,10 @@ def candidate_transforms(
             innermost loop by ``f`` times the outermost loop (only for
             depth >= 2).
     """
+    key = (depth, include_reversals, tuple(skew_factors))
+    cached = _CATALOG_CACHE.get(key)
+    if cached is not None:
+        return list(cached)
     result: list[LoopTransform] = []
     seen: set[tuple[tuple[int, ...], ...]] = set()
 
@@ -67,6 +79,7 @@ def candidate_transforms(
                 push(compose(skew, permutation_transform(order)))
     # Keep identity first for deterministic downstream ordering.
     result.sort(key=lambda t: (not t.is_identity,))
+    _CATALOG_CACHE[key] = tuple(result)
     return result
 
 
@@ -75,12 +88,23 @@ def legal_transforms(
     include_reversals: bool = False,
     skew_factors: tuple[int, ...] = (),
 ) -> list[LoopTransform]:
-    """The catalog filtered by dependence legality for one nest."""
-    info = analyze_nest_dependences(nest)
-    return [
-        transform
-        for transform in candidate_transforms(
-            nest.depth, include_reversals, skew_factors
-        )
-        if is_legal(info, transform)
-    ]
+    """The catalog filtered by dependence legality for one nest.
+
+    Memoized on the (immutable) nest: the dependence analysis and the
+    per-transform legality filter run once per nest and catalog
+    configuration, however many arrays, schemes or requests ask.
+    """
+    cache = nest.__dict__.setdefault("_legal_transform_cache", {})
+    key = (include_reversals, tuple(skew_factors))
+    legal = cache.get(key)
+    if legal is None:
+        info = analyze_nest_dependences(nest)
+        legal = [
+            transform
+            for transform in candidate_transforms(
+                nest.depth, include_reversals, skew_factors
+            )
+            if is_legal(info, transform)
+        ]
+        cache[key] = legal
+    return list(legal)

@@ -1,0 +1,164 @@
+"""Property-based equivalence: compiled kernel vs legacy semantics.
+
+The legacy objects (:class:`ConstraintNetwork` / ``BinaryConstraint``)
+define what a network *means*; the compiled kernel is only allowed to
+make the checks cheaper.  Over random networks this suite asserts, for
+every scheme (base, enhanced, cbj, forward-checking, min-conflicts,
+weighted):
+
+* **satisfiability agreement** -- each scheme's verdict matches a
+  brute-force reference solver that uses only the legacy
+  ``BinaryConstraint.allows``;
+* **assignment validity** -- every returned assignment passes the
+  legacy :meth:`ConstraintNetwork.is_solution`;
+* **entry-path equivalence** -- solving through the authoring network
+  and through an explicitly compiled kernel produces the same
+  assignment and the same effort counters;
+* **consistency-check monotonicity** -- the ``consistency_checks``
+  counter grows monotonically with the node budget (a capped run is a
+  prefix of the uncapped run) and is reproducible across repeat runs.
+"""
+
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csp.backjumping import ConflictDirectedSolver
+from repro.csp.backtracking import BacktrackingSolver
+from repro.csp.compiled import compile_network
+from repro.csp.enhanced import EnhancedSolver
+from repro.csp.forward_checking import ForwardCheckingSolver
+from repro.csp.minconflicts import MinConflictsSolver
+from repro.csp.random_networks import random_network
+from repro.csp.weighted import BranchAndBoundSolver, WeightedNetwork
+
+#: scheme name -> seeded factory; every entry is a complete solver
+#: except min-conflicts (handled separately: incomplete).
+SYSTEMATIC_SCHEMES = {
+    "base": lambda seed: BacktrackingSolver(seed=seed),
+    "enhanced": lambda seed: EnhancedSolver(seed=seed),
+    "cbj": lambda seed: ConflictDirectedSolver(seed=seed),
+    "forward-checking": lambda seed: ForwardCheckingSolver(seed=seed),
+}
+
+
+@st.composite
+def small_networks(draw):
+    """Random networks small enough to brute-force as ground truth."""
+    variables = draw(st.integers(2, 5))
+    domain = draw(st.integers(2, 4))
+    density = draw(st.floats(0.2, 1.0))
+    tightness = draw(st.floats(0.0, 0.7))
+    seed = draw(st.integers(0, 10_000))
+    plant = draw(st.booleans())
+    return random_network(
+        variables, domain, density, tightness, seed=seed, plant_solution=plant
+    )
+
+
+def brute_force_satisfiable(network) -> bool:
+    """Reference verdict using only the legacy allows()."""
+    names = network.variables
+    constraints = network.constraints
+    for combo in product(*(network.domain(name) for name in names)):
+        assignment = dict(zip(names, combo))
+        if all(
+            constraint.allows(
+                constraint.first,
+                assignment[constraint.first],
+                assignment[constraint.second],
+            )
+            for constraint in constraints
+        ):
+            return True
+    return False
+
+
+@given(small_networks())
+@settings(max_examples=40, deadline=None)
+def test_systematic_schemes_agree_with_legacy_semantics(network):
+    kernel = compile_network(network)
+    expected = brute_force_satisfiable(network)
+    for name, make in SYSTEMATIC_SCHEMES.items():
+        result = make(0).solve(kernel)
+        assert result.satisfiable == expected, name
+        assert result.complete, name
+        if result.satisfiable:
+            assert network.is_solution(result.assignment), name
+
+
+@given(small_networks())
+@settings(max_examples=30, deadline=None)
+def test_min_conflicts_agrees_with_legacy_semantics(network):
+    expected = brute_force_satisfiable(network)
+    result = MinConflictsSolver(seed=0, max_steps=400, max_restarts=3).solve(
+        compile_network(network)
+    )
+    if not expected:
+        assert not result.satisfiable  # incomplete, but never wrong
+    if result.satisfiable:
+        assert network.is_solution(result.assignment)
+
+
+@given(small_networks())
+@settings(max_examples=30, deadline=None)
+def test_weighted_scheme_agrees_with_legacy_semantics(network):
+    expected = brute_force_satisfiable(network)
+    result = BranchAndBoundSolver().solve(WeightedNetwork(network))
+    assert result.fully_satisfied == expected
+    assert set(result.assignment) == set(network.variables)
+    if expected:
+        assert network.is_solution(result.assignment)
+    # The kernel-direct entry point reaches the same optimum.
+    compiled_result = BranchAndBoundSolver().solve_compiled(compile_network(network))
+    assert compiled_result.assignment == result.assignment
+    assert compiled_result.satisfied_weight == result.satisfied_weight
+    assert compiled_result.optimal_weight == result.optimal_weight
+
+
+@given(small_networks())
+@settings(max_examples=25, deadline=None)
+def test_network_and_kernel_entry_paths_are_identical(network):
+    """solve(ConstraintNetwork) == solve(CompiledNetwork): assignment
+    and every effort counter (time excluded) -- compilation changes the
+    cost of a check, never how many the search performs."""
+    kernel = compile_network(network)
+    factories = dict(SYSTEMATIC_SCHEMES)
+    factories["min-conflicts"] = lambda seed: MinConflictsSolver(
+        seed=seed, max_steps=200, max_restarts=2
+    )
+    for name, make in factories.items():
+        via_network = make(3).solve(network)
+        via_kernel = make(3).solve(kernel)
+        assert via_network.assignment == via_kernel.assignment, name
+        network_stats = via_network.stats.as_dict()
+        kernel_stats = via_kernel.stats.as_dict()
+        network_stats.pop("time_seconds")
+        kernel_stats.pop("time_seconds")
+        assert network_stats == kernel_stats, name
+
+
+@given(small_networks())
+@settings(max_examples=25, deadline=None)
+def test_consistency_checks_monotone_in_node_budget(network):
+    """A budget-capped run is a prefix of the uncapped run, so the
+    check counter must be monotone non-decreasing in the budget -- and
+    exact reruns must reproduce it (no hash-order nondeterminism)."""
+    kernel = compile_network(network)
+    for scheme in ("base", "enhanced"):
+        make = SYSTEMATIC_SCHEMES[scheme]
+        full = make(1).solve(kernel)
+        rerun = make(1).solve(kernel)
+        assert rerun.stats.consistency_checks == full.stats.consistency_checks
+        previous = 0
+        budget = 1
+        while budget < full.stats.nodes + 2:
+            if scheme == "base":
+                capped = BacktrackingSolver(seed=1, max_nodes=budget).solve(kernel)
+            else:
+                capped = EnhancedSolver(seed=1, max_nodes=budget).solve(kernel)
+            assert capped.stats.consistency_checks >= previous
+            assert capped.stats.consistency_checks <= full.stats.consistency_checks
+            previous = capped.stats.consistency_checks
+            budget *= 2

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.csp.compiled import compile_network
 from repro.csp.engine import (
     EngineConfig,
     JUMP_CHRONOLOGICAL,
@@ -106,15 +107,18 @@ class TestVariableOrdering:
             network.add_variable(f"leaf{leaf}", [0, 1])
             network.add_constraint("hub", f"leaf{leaf}", [(0, 0), (1, 1)])
         engine = SearchEngine(EngineConfig(variable_ordering=True))
-        chosen = engine._select_variable(network, {}, None)
-        assert chosen == "hub"
+        kernel = compile_network(network)
+        chosen = engine._select_variable(kernel, [None] * kernel.variable_count, None)
+        assert kernel.names[chosen] == "hub"
 
     def test_deterministic_tie_break(self):
         network = chain_network(3)
         engine = SearchEngine(EngineConfig(variable_ordering=True))
-        first = engine._select_variable(network, {}, None)
-        second = engine._select_variable(network, {}, None)
-        assert first == second == "x1"  # middle variable has degree 2
+        kernel = compile_network(network)
+        unassigned = [None] * kernel.variable_count
+        first = engine._select_variable(kernel, unassigned, None)
+        second = engine._select_variable(kernel, unassigned, None)
+        assert kernel.names[first] == kernel.names[second] == "x1"  # degree 2
 
 
 class TestValueOrdering:
@@ -131,8 +135,12 @@ class TestValueOrdering:
         engine = SearchEngine(EngineConfig(value_ordering=True))
         from repro.csp.stats import SolverStats
 
-        ordered = engine._order_values(network, "x", {}, None, SolverStats())
-        assert list(ordered) == [1, 0]
+        kernel = compile_network(network)
+        x = kernel.index_of["x"]
+        ordered = engine._order_values(
+            kernel, x, [None] * kernel.variable_count, None, SolverStats()
+        )
+        assert [kernel.domains[x][value] for value in ordered] == [1, 0]
 
 
 class TestEnhancementConfigLabels:
