@@ -1,0 +1,202 @@
+"""Evaluation-layer throughput: the compiled batch simulator vs seed.
+
+The evaluation layer put the cache simulator on the request path, so
+its speed is now a serving concern: this module measures
+**evaluations per second** of the ``simulated`` cost model under both
+engines over the Table 3 suite and asserts
+
+* byte-identical totals: the batch engine must reproduce the seed
+  per-iteration engine's cycles, instructions, accesses and per-level
+  cache statistics exactly, program by program;
+* a >= 5x evaluations/s speedup for the batch engine over the suite;
+* simulation-guided refinement: ``LayoutOptimizer(refine="simulated")``
+  must return layouts whose simulated cycles are <= the analytic
+  winner's on at least one benchmark.
+
+``REPRO_BENCH_SIM_CAP`` (iterations per nest) shrinks the simulated
+iteration spaces for CI smoke runs -- both engines are capped
+identically, so the parity assertion stays exact.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.bench import BENCHMARK_NAMES, benchmark_build_options
+from repro.eval import SimulatedCostModel
+from repro.layout.layout import row_major
+from repro.opt.optimizer import LayoutOptimizer, select_transforms
+from repro.opt.report import format_table
+from repro.simul.batchwalk import HAVE_NUMPY
+from repro.simul.executor import simulate_program
+
+#: Iteration-space cap per nest (0 / unset = full, exact simulation).
+SIM_CAP = int(os.environ.get("REPRO_BENCH_SIM_CAP", 0)) or None
+
+#: Benchmarks the refinement demonstration may use (programs whose
+#: networks admit several solutions, so re-ranking has choices).
+_REFINE_CANDIDATES = ("MxM", "Med-Im04", "Shape")
+
+_rows = {}
+_totals = {"periter": 0.0, "batch": 0.0, "evaluations": 0}
+
+
+def _result_key(result):
+    return (
+        result.cycles,
+        result.instructions,
+        result.memory_accesses,
+        result.cache_report,
+    )
+
+
+def _workload(programs, scheme_outcomes, build_options, name):
+    """One evaluation workload: a program plus its enhanced version."""
+    program = programs[name]
+    layouts = scheme_outcomes[name]["enhanced"]["layouts"]
+    transforms = select_transforms(
+        program,
+        layouts,
+        build_options.include_reversals,
+        build_options.skew_factors,
+    )
+    return program, layouts, transforms
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="batch engine needs numpy")
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_batch_engine_is_byte_identical(
+    benchmark, name, programs, scheme_outcomes, build_options
+):
+    """Batch totals == seed per-iteration totals, per benchmark, for
+    both the original (row-major) and optimized versions."""
+    program, layouts, transforms = _workload(
+        programs, scheme_outcomes, build_options, name
+    )
+    original = {decl.name: row_major(decl.rank) for decl in program.arrays}
+    versions = (("original", original, None), ("enhanced", layouts, transforms))
+    timings = {"periter": 0.0, "batch": 0.0}
+    for _, version_layouts, version_transforms in versions:
+        results = {}
+        for engine in ("periter", "batch"):
+            start = time.perf_counter()
+            results[engine] = simulate_program(
+                program,
+                version_layouts,
+                transforms=version_transforms,
+                engine=engine,
+                max_iterations_per_nest=SIM_CAP,
+            )
+            timings[engine] += time.perf_counter() - start
+        assert _result_key(results["batch"]) == _result_key(
+            results["periter"]
+        ), f"{name}: batch simulation diverged from the seed engine"
+    _totals["periter"] += timings["periter"]
+    _totals["batch"] += timings["batch"]
+    _totals["evaluations"] += len(versions)
+    _rows[name] = [
+        name,
+        f"{timings['periter'] * 1000:.0f}ms",
+        f"{timings['batch'] * 1000:.0f}ms",
+        f"{timings['periter'] / timings['batch']:.1f}x",
+    ]
+    benchmark.extra_info.update(
+        {"seconds_periter": timings["periter"], "seconds_batch": timings["batch"]}
+    )
+    # The benchmarked operation: one batch-engine evaluation.
+    benchmark.pedantic(
+        simulate_program,
+        args=(program, layouts),
+        kwargs={
+            "transforms": transforms,
+            "engine": "batch",
+            "max_iterations_per_nest": SIM_CAP,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="batch engine needs numpy")
+def test_eval_throughput_speedup(benchmark):
+    """The headline: >= 5x evaluations/s for the batch engine over the
+    suite the parity test just timed."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _totals["evaluations"], "parity test must run first"
+    periter_rate = _totals["evaluations"] / _totals["periter"]
+    batch_rate = _totals["evaluations"] / _totals["batch"]
+    speedup = batch_rate / periter_rate
+    print("\n\n=== Evaluation throughput: simulated cost model ===")
+    print(
+        format_table(
+            ["Benchmark", "periter", "batch", "speedup"],
+            [_rows[name] for name in BENCHMARK_NAMES if name in _rows],
+        )
+    )
+    print(
+        f"  evaluations/s: periter {periter_rate:.2f}  batch {batch_rate:.2f} "
+        f"({speedup:.1f}x)"
+    )
+    benchmark.extra_info.update(
+        {"periter_eval_rate": periter_rate, "batch_eval_rate": batch_rate}
+    )
+    assert speedup >= 5.0, (
+        f"batch engine only {speedup:.1f}x over the seed path (need >= 5x)"
+    )
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="batch engine needs numpy")
+def test_refine_simulated_beats_analytic_winner(
+    benchmark, programs, scheme_outcomes, build_options
+):
+    """Simulation-guided refinement never loses to the analytic winner,
+    and on at least one benchmark it has real candidates to re-rank."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    model = SimulatedCostModel(max_iterations_per_nest=SIM_CAP)
+    improved = []
+    for name in _REFINE_CANDIDATES:
+        program, analytic_layouts, analytic_transforms = _workload(
+            programs, scheme_outcomes, build_options, name
+        )
+        analytic_cycles = simulate_program(
+            program,
+            analytic_layouts,
+            transforms=analytic_transforms,
+            engine="batch",
+            max_iterations_per_nest=SIM_CAP,
+        ).cycles
+        outcome = LayoutOptimizer(
+            scheme="enhanced",
+            seed=1,
+            options=build_options,
+            refine=model,
+            refine_top_k=6,
+        ).optimize(program)
+        assert outcome.cost is not None and outcome.refinement is not None
+        refined_transforms = select_transforms(
+            program,
+            outcome.layouts,
+            build_options.include_reversals,
+            build_options.skew_factors,
+        )
+        refined_cycles = simulate_program(
+            program,
+            outcome.layouts,
+            transforms=refined_transforms,
+            engine="batch",
+            max_iterations_per_nest=SIM_CAP,
+        ).cycles
+        print(
+            f"\n  {name}: analytic winner {analytic_cycles:,} cycles, "
+            f"refine=simulated {refined_cycles:,} cycles "
+            f"({len(outcome.refinement.candidates)} candidates, "
+            f"tau={outcome.refinement.agreement:+.2f})"
+        )
+        assert refined_cycles <= analytic_cycles, (
+            f"{name}: refinement returned worse layouts than the analytic "
+            "winner"
+        )
+        if len(outcome.refinement.candidates) > 1:
+            improved.append(name)
+    assert improved, "no benchmark offered multiple candidates to re-rank"

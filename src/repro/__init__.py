@@ -66,15 +66,25 @@ from repro.opt import (
 )
 from repro.simul import simulate_program
 from repro.cachesim import HierarchyConfig, paper_hierarchy
+from repro.eval import (
+    Cost,
+    CostModel,
+    available_cost_models,
+    get_cost_model,
+    register_cost_model,
+)
 from repro.service import (
+    EvaluationRequest,
+    EvaluationService,
     PortfolioConfig,
     PortfolioSolver,
     ResultCache,
     run_batch,
+    run_evaluation_batch,
 )
 
 #: Package version; surfaced by ``python -m repro.service --version``.
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AffineExpr",
@@ -105,9 +115,17 @@ __all__ = [
     "simulate_program",
     "HierarchyConfig",
     "paper_hierarchy",
+    "Cost",
+    "CostModel",
+    "available_cost_models",
+    "get_cost_model",
+    "register_cost_model",
+    "EvaluationRequest",
+    "EvaluationService",
     "PortfolioConfig",
     "PortfolioSolver",
     "ResultCache",
     "run_batch",
+    "run_evaluation_batch",
     "__version__",
 ]

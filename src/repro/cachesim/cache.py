@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 import random
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.cachesim.stats import CacheStats
 
@@ -73,6 +73,7 @@ class Cache:
         if not _is_power_of_two(self.num_sets):
             raise ValueError(f"{name}: number of sets must be a power of two")
         self.stats = CacheStats()
+        self._seed = seed
         self._rng = random.Random(seed)
         # Per set: list of tags, recency order (MRU last) for LRU,
         # insertion order for FIFO.
@@ -151,6 +152,97 @@ class Cache:
         self._sets = [[] for _ in range(self.num_sets)]
         self._dirty = [set() for _ in range(self.num_sets)]
         return dirty_total
+
+    def reset(self) -> None:
+        """Return the cache to its just-constructed state.
+
+        Empties every set, zeroes the statistics and re-seeds the
+        replacement RNG, so one cache object can be reused across
+        independent evaluations with fully deterministic results.
+        """
+        self.flush()
+        self.stats = CacheStats()
+        self._rng = random.Random(self._seed)
+
+    # -- batch access ------------------------------------------------------
+
+    def access_line_runs(
+        self,
+        run_lines: Sequence[int],
+        run_sets: Sequence[int],
+        run_counts: Sequence[int],
+        run_writes: Sequence[int],
+    ) -> list[int]:
+        """Access a set-grouped, run-length-encoded line stream.
+
+        The caller groups a line-access stream by set index (preserving
+        order within each set -- inter-set order is irrelevant to a
+        set-associative cache) and collapses consecutive same-line
+        accesses within a set into runs.  Every access of a run after
+        the first is a guaranteed hit (nothing else touched that set in
+        between), so only the run heads need stateful simulation; tail
+        accesses are bulk-counted.  Statistics and final cache state are
+        byte-identical to the equivalent :meth:`access_line` sequence.
+
+        Args:
+            run_lines: line address of each run.
+            run_sets: set index of each run (``line & (num_sets - 1)``).
+            run_counts: number of consecutive accesses in each run.
+            run_writes: truthy when any access of the run is a write.
+
+        Returns:
+            Positions (indices into the run arrays) whose head access
+            missed -- the caller forwards exactly these to the next
+            level, in the stream order it recorded for the run heads.
+
+        Raises:
+            ValueError: for the RANDOM policy, whose victim RNG stream
+                depends on global (not per-set) access order.
+        """
+        if self.policy is ReplacementPolicy.RANDOM:
+            raise ValueError(
+                f"{self.name}: batch access requires a deterministic "
+                "replacement policy (LRU or FIFO)"
+            )
+        sets = self._sets
+        dirty = self._dirty
+        stats = self.stats
+        lru = self.policy is ReplacementPolicy.LRU
+        associativity = self.associativity
+        misses: list[int] = []
+        append_miss = misses.append
+        total = 0
+        head_hits = 0
+        evictions = 0
+        writebacks = 0
+        for position, line in enumerate(run_lines):
+            set_index = run_sets[position]
+            count = run_counts[position]
+            total += count
+            tags = sets[set_index]
+            if line in tags:
+                head_hits += 1
+                if lru:
+                    tags.remove(line)
+                    tags.append(line)
+            else:
+                append_miss(position)
+                if len(tags) >= associativity:
+                    victim = tags.pop(0)
+                    evictions += 1
+                    dirty_set = dirty[set_index]
+                    if victim in dirty_set:
+                        dirty_set.discard(victim)
+                        writebacks += 1
+                tags.append(line)
+            if run_writes[position]:
+                dirty[set_index].add(line)
+        stats.accesses += total
+        stats.hits += head_hits + (total - len(run_lines))
+        stats.misses += len(misses)
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        return misses
 
     def _select_victim(self, set_index: int) -> int:
         tags = self._sets[set_index]

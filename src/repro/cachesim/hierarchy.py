@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cachesim.cache import Cache, ReplacementPolicy
+from repro.cachesim.cache import Cache, ReplacementPolicy, _is_power_of_two
 
 
 @dataclass(frozen=True)
@@ -37,6 +37,33 @@ class HierarchyConfig:
     def __post_init__(self) -> None:
         if min(self.l1_latency, self.l2_latency, self.memory_latency) <= 0:
             raise ValueError("latencies must be positive")
+        for level, size, associativity, line in (
+            ("l1", self.l1_size, self.l1_associativity, self.l1_line),
+            ("l2", self.l2_size, self.l2_associativity, self.l2_line),
+        ):
+            if not _is_power_of_two(size):
+                raise ValueError(f"{level}_size must be a power of two")
+            if not _is_power_of_two(line):
+                raise ValueError(f"{level}_line must be a power of two")
+            if line > size:
+                raise ValueError(f"{level}_line cannot exceed {level}_size")
+            if associativity <= 0:
+                raise ValueError(f"{level}_associativity must be positive")
+            if size % (associativity * line) != 0 or not _is_power_of_two(
+                size // (associativity * line)
+            ):
+                raise ValueError(
+                    f"{level}_associativity {associativity} does not divide "
+                    f"{level}_size {size} into a power-of-two set count"
+                )
+
+    def fingerprint(self) -> str:
+        """Canonical token for cache keys: one deployment, many machines."""
+        return (
+            f"hier[l1={self.l1_size}/{self.l1_associativity}/{self.l1_line}"
+            f",l2={self.l2_size}/{self.l2_associativity}/{self.l2_line}"
+            f",lat={self.l1_latency}/{self.l2_latency}/{self.memory_latency}]"
+        )
 
 
 class MemoryHierarchy:
@@ -91,6 +118,90 @@ class MemoryHierarchy:
         self.l1_data.flush()
         self.l1_instruction.flush()
         self.l2.flush()
+
+    def reset(self) -> None:
+        """Empty all levels *and* zero their statistics.
+
+        One hierarchy object can then be reused across evaluations
+        (the evaluation layer resets between scoring calls instead of
+        constructing a fresh hierarchy per candidate layout).
+        """
+        self.l1_data.reset()
+        self.l1_instruction.reset()
+        self.l2.reset()
+
+    def access_data_lines(self, lines, writes) -> tuple[int, int, int]:
+        """Feed a batch of single-line data accesses, in stream order.
+
+        ``lines`` and ``writes`` are equal-length numpy arrays: the L1
+        line index of each access and whether it is a write.  Accesses
+        are grouped by L1 set (order within a set is preserved --
+        inter-set order cannot affect a set-associative cache) and
+        consecutive same-line accesses collapse into runs whose tails
+        are guaranteed hits; only run heads are simulated statefully.
+        L1 misses are re-ordered back into stream order before being
+        replayed into the (unified) L2 the same way.  Statistics and
+        final cache state are byte-identical to the equivalent sequence
+        of :meth:`access_data` calls for accesses that touch one line
+        each.
+
+        Returns:
+            ``(accesses, l1_misses, l2_misses)`` -- everything a timing
+            model needs, since access latency is additive per level.
+        """
+        import numpy as np
+
+        count = int(lines.shape[0])
+        if count == 0:
+            return (0, 0, 0)
+        l1 = self.l1_data
+        l2 = self.l2
+
+        order = np.argsort(lines & (l1.num_sets - 1), kind="stable")
+        grouped = lines[order]
+        heads = np.empty(count, dtype=bool)
+        heads[0] = True
+        np.not_equal(grouped[1:], grouped[:-1], out=heads[1:])
+        head_positions = np.flatnonzero(heads)
+        run_lines = grouped[head_positions]
+        run_counts = np.diff(np.append(head_positions, count))
+        run_writes = np.bitwise_or.reduceat(
+            writes[order].astype(np.uint8), head_positions
+        )
+        miss_positions = l1.access_line_runs(
+            run_lines.tolist(),
+            (run_lines & (l1.num_sets - 1)).tolist(),
+            run_counts.tolist(),
+            run_writes.tolist(),
+        )
+        l1_misses = len(miss_positions)
+        if l1_misses == 0:
+            return (count, 0, 0)
+
+        # Replay the L1 misses into L2 in stream order.  A miss happens
+        # at its run's head access, whose stream position is the
+        # smallest in the run (stable grouping preserves in-set order).
+        miss_index = np.asarray(miss_positions, dtype=np.int64)
+        miss_stream_order = order[head_positions[miss_index]]
+        l2_lines = (run_lines[miss_index] * l1.line_size) // l2.line_size
+        l2_stream = l2_lines[np.argsort(miss_stream_order, kind="stable")]
+        l2_order = np.argsort(l2_stream & (l2.num_sets - 1), kind="stable")
+        l2_grouped = l2_stream[l2_order]
+        l2_heads = np.empty(l1_misses, dtype=bool)
+        l2_heads[0] = True
+        np.not_equal(l2_grouped[1:], l2_grouped[:-1], out=l2_heads[1:])
+        l2_head_positions = np.flatnonzero(l2_heads)
+        l2_run_lines = l2_grouped[l2_head_positions]
+        l2_run_counts = np.diff(np.append(l2_head_positions, l1_misses))
+        l2_misses = len(
+            l2.access_line_runs(
+                l2_run_lines.tolist(),
+                (l2_run_lines & (l2.num_sets - 1)).tolist(),
+                l2_run_counts.tolist(),
+                [0] * len(l2_run_lines),
+            )
+        )
+        return (count, l1_misses, l2_misses)
 
     def report(self) -> dict[str, dict[str, float]]:
         """Per-level statistics as plain dicts."""

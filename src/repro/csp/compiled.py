@@ -257,3 +257,76 @@ def as_compiled(network: ConstraintNetwork | CompiledNetwork) -> CompiledNetwork
     if isinstance(network, CompiledNetwork):
         return network
     return compile_network(network)
+
+
+def enumerate_solutions(
+    network: ConstraintNetwork | CompiledNetwork,
+    limit: int,
+    max_nodes: int = 200_000,
+) -> list[dict[str, Value]]:
+    """Up to ``limit`` distinct solutions, deterministically ordered.
+
+    A forward-checking depth-first search over the compiled kernel:
+    variables in static max-degree order, values in domain-index order,
+    domains as bitmasks.  Solvers return *one* solution; the evaluation
+    layer's simulation-guided refinement wants the top-k candidates to
+    re-rank, and this is where they come from.  ``max_nodes`` bounds
+    the effort on pathological networks (the partial enumeration found
+    so far is returned).
+
+    Raises:
+        ValueError: for a non-positive limit.
+    """
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+    kernel = as_compiled(network)
+    count = kernel.variable_count
+    if count == 0:
+        return []
+    order = sorted(
+        range(count),
+        key=lambda v: (-len(kernel.neighbors[v]), kernel.name_rank[v]),
+    )
+    position = {variable: depth for depth, variable in enumerate(order)}
+    solutions: list[dict[str, Value]] = []
+    values: list[int | None] = [None] * count
+    masks = list(kernel.full_masks)
+    nodes = 0
+
+    def search(depth: int) -> bool:
+        nonlocal nodes
+        if depth == count:
+            solutions.append(kernel.to_named(values))
+            return len(solutions) >= limit
+        variable = order[depth]
+        mask = masks[variable]
+        while mask:
+            if nodes >= max_nodes:
+                return True
+            nodes += 1
+            low = mask & -mask
+            mask ^= low
+            value = low.bit_length() - 1
+            values[variable] = value
+            saved: list[tuple[int, int]] = []
+            dead = False
+            for neighbor in kernel.neighbors[variable]:
+                if position[neighbor] <= depth:
+                    continue
+                pruned = masks[neighbor] & kernel.support_mask(
+                    variable, value, neighbor
+                )
+                saved.append((neighbor, masks[neighbor]))
+                masks[neighbor] = pruned
+                if not pruned:
+                    dead = True
+                    break
+            if not dead and search(depth + 1):
+                return True
+            for neighbor, previous in saved:
+                masks[neighbor] = previous
+            values[variable] = None
+        return False
+
+    search(0)
+    return solutions

@@ -1,0 +1,46 @@
+"""The unified evaluation layer: pluggable cost models.
+
+Everything that prices a candidate layout assignment lives behind one
+protocol (:class:`~repro.eval.cost.CostModel`) and one registry:
+
+========== ==================== ==========================================
+name       unit                 what it measures
+========== ==================== ==========================================
+analytic   est-misses           Section 2 locality classes, priced per
+                                reference (no machine state; cheapest)
+weighted   violated-weight      nest-cost weight of the layout-network
+                                constraints the candidate violates
+simulated  cycles               trace-driven execution on the batch cache
+                                simulator (configurable machine model)
+========== ==================== ==========================================
+
+``LayoutOptimizer(refine="simulated")`` closes the loop: the CSP
+search proposes top-k candidates analytically, the simulator re-ranks
+them empirically.  The service's ``evaluate`` request kind serves the
+same models remotely with per-request hierarchy overrides.
+"""
+
+from repro.eval.agreement import kendall_tau, rank_positions
+from repro.eval.analytic import AnalyticCostModel
+from repro.eval.cost import (
+    Cost,
+    CostModel,
+    available_cost_models,
+    get_cost_model,
+    register_cost_model,
+)
+from repro.eval.simulated import SimulatedCostModel
+from repro.eval.weighted import WeightedCostModel
+
+__all__ = [
+    "Cost",
+    "CostModel",
+    "available_cost_models",
+    "get_cost_model",
+    "register_cost_model",
+    "AnalyticCostModel",
+    "WeightedCostModel",
+    "SimulatedCostModel",
+    "kendall_tau",
+    "rank_positions",
+]

@@ -1,0 +1,55 @@
+"""How much do two cost models agree about a candidate ranking?
+
+The simulation-guided loop is only worth its cycles where the analytic
+model mispredicts; these helpers quantify that.  ``kendall_tau`` is
+the classic concordant-minus-discordant pair statistic (tau-a over
+untied pairs): 1.0 when two models order every candidate pair the same
+way, -1.0 when they disagree on all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def rank_positions(values: Sequence[float]) -> list[int]:
+    """1-based ranks, best (lowest) value first; ties broken by index.
+
+    >>> rank_positions([30.0, 10.0, 20.0])
+    [3, 1, 2]
+    """
+    order = sorted(range(len(values)), key=lambda i: (values[i], i))
+    ranks = [0] * len(values)
+    for position, index in enumerate(order):
+        ranks[index] = position + 1
+    return ranks
+
+
+def kendall_tau(a: Sequence[float], b: Sequence[float]) -> float:
+    """Rank correlation of two scorings of the same candidates.
+
+    Pairs tied in either scoring are ignored; with fewer than two
+    comparable pairs the correlation is defined as 1.0 (nothing to
+    disagree about).
+
+    Raises:
+        ValueError: on length mismatch.
+    """
+    if len(a) != len(b):
+        raise ValueError("scorings must have equal length")
+    concordant = 0
+    discordant = 0
+    for i in range(len(a)):
+        for j in range(i + 1, len(a)):
+            first = (a[i] > a[j]) - (a[i] < a[j])
+            second = (b[i] > b[j]) - (b[i] < b[j])
+            if first == 0 or second == 0:
+                continue
+            if first == second:
+                concordant += 1
+            else:
+                discordant += 1
+    total = concordant + discordant
+    if total == 0:
+        return 1.0
+    return (concordant - discordant) / total

@@ -1,0 +1,113 @@
+"""The :class:`CostModel` protocol and its registry.
+
+Before this layer existed the repo had three unrelated evaluators --
+the locality counts driving network construction, the weighted
+nest-cost objective of the branch & bound, and the trace-driven cache
+simulator -- each with its own calling convention, reachable from
+different layers.  A :class:`CostModel` gives them one face:
+
+``score(program, layouts, transforms) -> Cost``
+
+where lower ``Cost.value`` is better.  Implementations register under
+a short name (``analytic``, ``weighted``, ``simulated``) so the
+optimizer, the service and the benchmarks select evaluators by
+configuration instead of by import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Protocol, runtime_checkable
+
+from repro.ir.program import Program
+from repro.layout.layout import Layout
+from repro.transform.unimodular_loop import LoopTransform
+
+
+@dataclass(frozen=True)
+class Cost:
+    """One evaluator's verdict on a candidate (layouts, transforms).
+
+    Attributes:
+        model: registered name of the model that produced it.
+        value: the score; **lower is better**.  Units differ by model
+            (see ``unit``) -- costs are comparable only within a model.
+        unit: human-readable unit ("cycles", "est-misses", "violated-weight").
+        details: model-specific breakdown (e.g. the per-level cache
+            report for the simulated model).
+    """
+
+    model: str
+    value: float
+    unit: str
+    details: Mapping[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"{self.model}: {self.value:,.0f} {self.unit}"
+
+
+@runtime_checkable
+class CostModel(Protocol):
+    """Anything that can price a candidate layout assignment."""
+
+    name: str
+
+    def score(
+        self,
+        program: Program,
+        layouts: Mapping[str, Layout],
+        transforms: Mapping[str, LoopTransform] | None = None,
+    ) -> Cost:
+        """Price the candidate; lower :attr:`Cost.value` is better."""
+        ...
+
+
+_FACTORIES: dict[str, Callable[..., CostModel]] = {}
+
+
+def register_cost_model(name: str):
+    """Class decorator registering a cost-model factory under ``name``.
+
+    The decorated class is instantiated by :func:`get_cost_model` with
+    whatever keyword arguments the caller supplies.
+
+    Raises:
+        ValueError: when the name is already taken by a different
+            factory (re-registering the same class is a no-op, which
+            keeps module reloads harmless).
+    """
+
+    def decorate(factory: Callable[..., CostModel]):
+        existing = _FACTORIES.get(name)
+        if existing is not None and existing is not factory:
+            raise ValueError(f"cost model {name!r} is already registered")
+        _FACTORIES[name] = factory
+        return factory
+
+    return decorate
+
+
+def available_cost_models() -> tuple[str, ...]:
+    """Registered cost-model names, sorted."""
+    _load_builtins()
+    return tuple(sorted(_FACTORIES))
+
+
+def get_cost_model(name: str, **kwargs) -> CostModel:
+    """Instantiate a registered cost model by name.
+
+    Raises:
+        ValueError: for an unknown name.
+    """
+    _load_builtins()
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown cost model {name!r}; know {available_cost_models()}"
+        )
+    return factory(**kwargs)
+
+
+def _load_builtins() -> None:
+    """Import the built-in models so their registrations run."""
+    from repro.eval import analytic, simulated, weighted  # noqa: F401

@@ -1,0 +1,76 @@
+"""The weighted cost model: violated nest-cost constraint weight.
+
+Scores a candidate by how much of the layout network it fails to
+satisfy, weighting every violated constraint by the estimated cost of
+the nests that generated it -- the branch & bound's Max-CSP objective
+turned into a reusable evaluator.  A candidate satisfying the whole
+network costs 0.0; comparisons between partial-locality compromises
+follow the paper's future-work weighting.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.eval.cost import Cost, register_cost_model
+from repro.ir.program import Program
+from repro.layout.layout import Layout
+from repro.opt.network_builder import BuildOptions, LayoutNetwork, build_layout_network
+from repro.transform.unimodular_loop import LoopTransform
+
+
+@register_cost_model("weighted")
+class WeightedCostModel:
+    """Violated constraint weight over the program's layout network.
+
+    Args:
+        options: network-construction options (must match how the
+            candidate was produced for the score to mean anything).
+        network: a prebuilt :class:`LayoutNetwork` to score against,
+            skipping construction -- callers scoring many candidates
+            of one program should pass it.
+    """
+
+    name = "weighted"
+
+    def __init__(
+        self,
+        options: BuildOptions | None = None,
+        network: LayoutNetwork | None = None,
+    ):
+        self._options = options if options is not None else BuildOptions()
+        self._network = network
+
+    def score(
+        self,
+        program: Program,
+        layouts: Mapping[str, Layout],
+        transforms: Mapping[str, LoopTransform] | None = None,
+    ) -> Cost:
+        layout_network = self._network
+        if layout_network is None:
+            layout_network = build_layout_network(program, self._options)
+        network = layout_network.network
+        satisfied = 0.0
+        violated = 0.0
+        for constraint in network.constraints:
+            weight = layout_network.weights.get(
+                frozenset((constraint.first, constraint.second)), 1.0
+            )
+            first = layouts.get(constraint.first)
+            second = layouts.get(constraint.second)
+            if first is not None and second is not None and constraint.allows(
+                constraint.first, first, second
+            ):
+                satisfied += weight
+            else:
+                violated += weight
+        return Cost(
+            model=self.name,
+            value=violated,
+            unit="violated-weight",
+            details={
+                "satisfied_weight": satisfied,
+                "total_weight": satisfied + violated,
+            },
+        )

@@ -17,25 +17,30 @@ from repro.opt.network_builder import (
     build_layout_network,
 )
 from repro.opt.optimizer import (
+    CandidateScore,
     LayoutOptimizer,
     OptimizationOutcome,
+    RefinementReport,
     select_transforms,
     repair_inflation,
 )
 from repro.opt.heuristic import HeuristicOptimizer
 from repro.opt.dynamic import DynamicLayoutPlanner, DynamicPlan
-from repro.opt.report import format_table
+from repro.opt.report import format_table, optimization_report
 
 __all__ = [
     "BuildOptions",
     "LayoutNetwork",
     "build_layout_network",
+    "CandidateScore",
     "LayoutOptimizer",
     "OptimizationOutcome",
+    "RefinementReport",
     "select_transforms",
     "repair_inflation",
     "HeuristicOptimizer",
     "DynamicLayoutPlanner",
     "DynamicPlan",
     "format_table",
+    "optimization_report",
 ]

@@ -48,6 +48,55 @@ _SCHEMES = {
 }
 
 
+@dataclass(frozen=True)
+class CandidateScore:
+    """One refinement candidate and how the cost models priced it.
+
+    Attributes:
+        label: provenance ("search" for the solver's own answer,
+            "solution-N" for enumerated alternatives).
+        layouts: the candidate's full layout assignment.
+        analytic_value: the analytic model's estimate (the rank the
+            optimizer would have used without refinement).
+        refined_value: the refining model's score (lower is better).
+        chosen: True for the candidate the refined outcome adopted.
+    """
+
+    label: str
+    layouts: dict[str, Layout]
+    analytic_value: float
+    refined_value: float
+    chosen: bool = False
+
+
+@dataclass(frozen=True)
+class RefinementReport:
+    """What simulation-guided refinement saw and decided.
+
+    Attributes:
+        model: registered name of the refining cost model.
+        candidates: every scored candidate, in scoring order.
+        agreement: Kendall tau between the analytic and refined
+            rankings of the candidates (1.0 = the simulator confirmed
+            the analytic order; low values are where the feedback loop
+            earned its cycles).
+        evaluate_seconds: wall-clock spent scoring candidates.
+    """
+
+    model: str
+    candidates: tuple[CandidateScore, ...]
+    agreement: float
+    evaluate_seconds: float
+
+    @property
+    def chosen(self) -> CandidateScore:
+        """The adopted candidate."""
+        for candidate in self.candidates:
+            if candidate.chosen:
+                return candidate
+        raise ValueError("refinement report has no chosen candidate")
+
+
 @dataclass
 class OptimizationOutcome:
     """Result of a layout optimization run.
@@ -61,6 +110,10 @@ class OptimizationOutcome:
         network: the constraint network with provenance.
         exact: True when the layouts satisfy every constraint; False
             when the weighted fallback produced a best-effort result.
+        cost: the refining cost model's score of ``layouts`` (None
+            when no refinement ran).
+        refinement: the candidate table refinement considered (None
+            when no refinement ran).
     """
 
     program: str
@@ -70,6 +123,8 @@ class OptimizationOutcome:
     solve_seconds: float
     network: LayoutNetwork
     exact: bool
+    cost: object | None = None
+    refinement: RefinementReport | None = None
 
 
 class LayoutOptimizer:
@@ -88,9 +143,20 @@ class LayoutOptimizer:
             ``"portfolio:..."`` string forms; a ``PortfolioConfig``
             instance carries its own seed, which takes precedence.
         options: network construction options.
+        refine: close the analytic <-> empirical loop: a registered
+            cost-model name (``"simulated"``, ``"analytic"``,
+            ``"weighted"``) or a configured
+            :class:`repro.eval.CostModel` instance.  The optimizer
+            enumerates up to ``refine_top_k`` solutions of the
+            compiled network alongside the solver's own answer and
+            adopts the candidate the model scores cheapest; the
+            outcome's ``cost`` and ``refinement`` fields carry the
+            evidence.  ``None`` (default) keeps the classic behavior.
+        refine_top_k: how many enumerated solutions to score.
 
     Raises:
-        ValueError: for an unknown scheme name.
+        ValueError: for an unknown scheme name, unknown refine model,
+            or non-positive ``refine_top_k``.
     """
 
     def __init__(
@@ -98,6 +164,8 @@ class LayoutOptimizer:
         scheme="enhanced",
         seed: int = 0,
         options: BuildOptions | None = None,
+        refine=None,
+        refine_top_k: int = 8,
     ):
         self._portfolio = None
         self._solver = None
@@ -116,11 +184,25 @@ class LayoutOptimizer:
             self._scheme_name = scheme
             self._solver = _SCHEMES[scheme](seed)
         self._options = options if options is not None else BuildOptions()
+        if refine_top_k <= 0:
+            raise ValueError("refine_top_k must be positive")
+        self._refine_top_k = refine_top_k
+        if isinstance(refine, str):
+            from repro.eval import get_cost_model
+
+            # The weighted model scores against a layout network, which
+            # must be built the same way the candidates were.
+            kwargs = {"options": self._options} if refine == "weighted" else {}
+            refine = get_cost_model(refine, **kwargs)
+        self._refine = refine
 
     def optimize(self, program: Program) -> OptimizationOutcome:
         """Choose one memory layout for every array of the program."""
         if self._portfolio is not None:
-            return self._optimize_portfolio(program)
+            outcome = self._optimize_portfolio(program)
+            if self._refine is not None:
+                outcome = self._apply_refinement(program, outcome)
+            return outcome
         start = time.perf_counter()
         layout_network = build_layout_network(program, self._options)
         kernel = layout_network.kernel()
@@ -156,7 +238,7 @@ class LayoutOptimizer:
             layouts[decl.name] = (
                 chosen if chosen is not None else row_major(decl.rank)
             )
-        return OptimizationOutcome(
+        outcome = OptimizationOutcome(
             program=program.name,
             scheme=self._scheme_name,
             layouts=layouts,
@@ -165,6 +247,90 @@ class LayoutOptimizer:
             network=layout_network,
             exact=exact,
         )
+        if self._refine is not None:
+            outcome = self._apply_refinement(program, outcome)
+        return outcome
+
+    def _apply_refinement(
+        self, program: Program, outcome: OptimizationOutcome
+    ) -> OptimizationOutcome:
+        """Re-rank the solver's answer against enumerated alternatives.
+
+        The candidate pool is the outcome's own layouts plus up to
+        ``refine_top_k`` distinct solutions of the compiled network;
+        each is paired with its best legal restructurings and scored
+        by the refining model (and, for the agreement statistic, by
+        the analytic model).  Ties keep the earlier candidate, so the
+        solver's answer survives unless the model strictly prefers an
+        alternative.
+        """
+        from repro.csp.compiled import enumerate_solutions
+        from repro.eval import AnalyticCostModel, kendall_tau
+
+        start = time.perf_counter()
+        model = self._refine
+        analytic = model if model.name == "analytic" else AnalyticCostModel()
+
+        pool: list[tuple[str, dict[str, Layout]]] = [
+            ("search", dict(outcome.layouts))
+        ]
+        seen = {_layout_key(outcome.layouts)}
+        for index, assignment in enumerate(
+            enumerate_solutions(outcome.network.kernel(), self._refine_top_k)
+        ):
+            layouts = {
+                decl.name: assignment.get(decl.name, row_major(decl.rank))
+                for decl in program.arrays
+            }
+            key = _layout_key(layouts)
+            if key in seen:
+                continue
+            seen.add(key)
+            pool.append((f"solution-{index + 1}", layouts))
+
+        scored = []
+        for label, layouts in pool:
+            transforms = select_transforms(
+                program,
+                layouts,
+                self._options.include_reversals,
+                self._options.skew_factors,
+            )
+            cost = model.score(program, layouts, transforms)
+            if analytic is model:
+                analytic_value = cost.value
+            else:
+                analytic_value = analytic.score(
+                    program, layouts, transforms
+                ).value
+            scored.append((label, layouts, analytic_value, cost))
+
+        best = min(range(len(scored)), key=lambda i: scored[i][3].value)
+        agreement = kendall_tau(
+            [entry[2] for entry in scored],
+            [entry[3].value for entry in scored],
+        )
+        report = RefinementReport(
+            model=model.name,
+            candidates=tuple(
+                CandidateScore(
+                    label=label,
+                    layouts=layouts,
+                    analytic_value=analytic_value,
+                    refined_value=cost.value,
+                    chosen=(index == best),
+                )
+                for index, (label, layouts, analytic_value, cost) in enumerate(
+                    scored
+                )
+            ),
+            agreement=agreement,
+            evaluate_seconds=time.perf_counter() - start,
+        )
+        outcome.layouts = dict(scored[best][1])
+        outcome.cost = scored[best][3]
+        outcome.refinement = report
+        return outcome
 
     def _optimize_portfolio(self, program: Program) -> OptimizationOutcome:
         """Delegate to the service layer's racing portfolio."""
@@ -185,6 +351,11 @@ class LayoutOptimizer:
             network=network,
             exact=result.exact,
         )
+
+
+def _layout_key(layouts: Mapping[str, Layout]) -> tuple:
+    """Hashable identity of a full layout assignment (for dedup)."""
+    return tuple(sorted((name, layout) for name, layout in layouts.items()))
 
 
 def _as_portfolio_config(scheme, seed: int):

@@ -1,4 +1,4 @@
-"""Plain-text table formatting for benchmarks and examples."""
+"""Plain-text table formatting and outcome reports."""
 
 from __future__ import annotations
 
@@ -49,6 +49,66 @@ def format_table(
     lines.append(render_row(cells[0]))
     lines.append(render_row(["-" * width for width in widths]))
     lines.extend(render_row(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def optimization_report(outcome) -> str:
+    """Human-readable report of one :class:`OptimizationOutcome`.
+
+    Always shows the scheme, exactness and per-array layouts; when the
+    outcome was cost-refined it also names the cost model and its
+    verdict, and -- when that model simulated execution -- the
+    per-level cache hit rates.  Timings are deliberately omitted so
+    the report is deterministic for a fixed outcome (golden-testable).
+    """
+    lines = [
+        f"program: {outcome.program}",
+        f"scheme: {outcome.scheme} ({'exact' if outcome.exact else 'best-effort'})",
+    ]
+    lines.append(
+        format_table(
+            ["array", "layout"],
+            [
+                [name, layout.describe()]
+                for name, layout in sorted(outcome.layouts.items())
+            ],
+            title="layouts:",
+        )
+    )
+    stats = outcome.stats
+    lines.append(
+        f"solver effort: {stats.nodes} nodes, "
+        f"{stats.consistency_checks} consistency checks, "
+        f"{stats.backtracks} backtracks"
+    )
+    cost = outcome.cost
+    if cost is not None:
+        lines.append(f"cost model: {cost.model} -> {cost.value:,.0f} {cost.unit}")
+        report = cost.details.get("cache_report") if cost.details else None
+        if report:
+            per_level = "  ".join(
+                f"{level} {100.0 * stats_row.get('hit_rate', 0.0):.1f}%"
+                for level, stats_row in report.items()
+            )
+            lines.append(f"simulated hit rates: {per_level}")
+    refinement = outcome.refinement
+    if refinement is not None:
+        lines.append(
+            format_table(
+                ["candidate", "analytic", refinement.model, "chosen"],
+                [
+                    [
+                        candidate.label,
+                        f"{candidate.analytic_value:,.0f}",
+                        f"{candidate.refined_value:,.0f}",
+                        "*" if candidate.chosen else "",
+                    ]
+                    for candidate in refinement.candidates
+                ],
+                title=f"refinement ({refinement.model}, "
+                f"agreement tau={refinement.agreement:+.2f}):",
+            )
+        )
     return "\n".join(lines)
 
 

@@ -14,12 +14,23 @@ scheme; this package turns it into a serving stack:
   outcome table.
 * :mod:`repro.service.batch` -- many programs fanned across a worker
   pool, producing a throughput/latency report.
+* :mod:`repro.service.evaluate` -- the ``evaluate`` request kind:
+  price a program's layouts under any registered cost model with
+  per-request cache-hierarchy overrides (one deployment, many
+  machine models).
 * :mod:`repro.service.cli` -- the ``python -m repro.service`` front
   end tying it all together.
 """
 
 from repro.service.batch import BatchReport, run_batch
 from repro.service.cache import CacheStats, ResultCache
+from repro.service.evaluate import (
+    EvaluationRequest,
+    EvaluationResult,
+    EvaluationService,
+    parse_hierarchy_overrides,
+    run_evaluation_batch,
+)
 from repro.service.fingerprint import (
     canonical_value_token,
     network_fingerprint,
@@ -40,6 +51,11 @@ __all__ = [
     "run_batch",
     "CacheStats",
     "ResultCache",
+    "EvaluationRequest",
+    "EvaluationResult",
+    "EvaluationService",
+    "parse_hierarchy_overrides",
+    "run_evaluation_batch",
     "canonical_value_token",
     "network_fingerprint",
     "program_fingerprint",

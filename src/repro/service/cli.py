@@ -115,6 +115,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the per-scheme outcome table for every program",
     )
+    evaluation = parser.add_argument_group(
+        "evaluation requests",
+        "price programs under a cost model instead of (only) optimizing "
+        "them; layouts come from the racing portfolio, the machine "
+        "model from --hierarchy",
+    )
+    evaluation.add_argument(
+        "--evaluate",
+        action="store_true",
+        help="serve 'evaluate' requests: optimize, then score the winner",
+    )
+    evaluation.add_argument(
+        "--cost-model",
+        default="simulated",
+        help="cost model for --evaluate (see repro.eval; default simulated)",
+    )
+    evaluation.add_argument(
+        "--hierarchy",
+        default="",
+        metavar="FIELD=N,...",
+        help=(
+            "per-request cache hierarchy overrides for --evaluate, e.g. "
+            "l1_size=16384,l2_latency=9 (fields of HierarchyConfig)"
+        ),
+    )
+    evaluation.add_argument(
+        "--sim-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="iteration-space sampling cap per nest for --evaluate",
+    )
     return parser
 
 
@@ -165,6 +197,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.clear_cache:
             cache.clear()
 
+    if args.evaluate:
+        return _run_evaluation(args, config, programs, cache)
+
     print(
         f"repro layout service v{__version__} -- "
         f"portfolio [{', '.join(config.schemes)}], "
@@ -203,3 +238,69 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     failures = sum(1 for result in report.results if result.winner is None)
     return 1 if failures else 0
+
+
+def _run_evaluation(args, config, programs, cache) -> int:
+    """Serve the batch as 'evaluate' requests and print the price list."""
+    from repro.eval import available_cost_models
+    from repro.service.evaluate import (
+        EvaluationRequest,
+        parse_hierarchy_overrides,
+        run_evaluation_batch,
+    )
+
+    if args.cost_model not in available_cost_models():
+        raise SystemExit(
+            f"unknown cost model {args.cost_model!r}; "
+            f"know {', '.join(available_cost_models())}"
+        )
+    if args.sim_cap is not None and args.sim_cap <= 0:
+        raise SystemExit("--sim-cap must be positive")
+    try:
+        hierarchy = (
+            parse_hierarchy_overrides(args.hierarchy) if args.hierarchy else None
+        )
+        requests = [
+            EvaluationRequest(
+                program=program,
+                cost_model=args.cost_model,
+                hierarchy=hierarchy,
+                max_iterations_per_nest=args.sim_cap,
+            )
+            for program in programs
+        ]
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"repro layout service v{__version__} -- evaluate "
+        f"[{args.cost_model}] portfolio [{', '.join(config.schemes)}], "
+        f"hierarchy={'paper' if hierarchy is None else args.hierarchy}, "
+        f"workers={args.workers}, "
+        f"cache={'off' if cache is None else args.cache}"
+    )
+    results = run_evaluation_batch(
+        requests,
+        config=config,
+        options=benchmark_build_options(),
+        cache=cache,
+        workers=args.workers,
+    )
+    for result in results:
+        source = "cache" if result.from_cache else (
+            f"winner={result.winner}" if result.winner else "explicit-layouts"
+        )
+        print(
+            f"  {result.program:<12} {source:<24} "
+            f"{result.value:>16,.0f} {result.unit:<16} "
+            f"{result.seconds * 1000:8.1f}ms"
+        )
+        report = result.details.get("cache_report")
+        if args.verbose and report:
+            rates = "  ".join(
+                f"{level} {100.0 * stats.get('hit_rate', 0.0):.1f}%"
+                for level, stats in report.items()
+            )
+            print(f"      hit rates: {rates}")
+    if cache is not None:
+        cache.save()
+    return 0

@@ -8,13 +8,27 @@ through the modelled hierarchy and CPU.
 """
 
 from repro.simul.addressmap import AddressMap
-from repro.simul.tracegen import compile_nest_accesses, NestAccessPlan
-from repro.simul.executor import simulate_program, SimulationResult
+from repro.simul.tracegen import (
+    compile_nest_accesses,
+    CompiledAccess,
+    IncrementalAddress,
+    NestAccessPlan,
+)
+from repro.simul.executor import (
+    ENGINES,
+    resolve_engine,
+    simulate_program,
+    SimulationResult,
+)
 
 __all__ = [
     "AddressMap",
     "compile_nest_accesses",
+    "CompiledAccess",
+    "IncrementalAddress",
     "NestAccessPlan",
+    "ENGINES",
+    "resolve_engine",
     "simulate_program",
     "SimulationResult",
 ]

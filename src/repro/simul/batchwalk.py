@@ -1,0 +1,286 @@
+"""Array-at-a-time address generation for the batch simulator.
+
+The per-iteration executor evaluates one dot product per reference per
+point.  This module emits the same addresses *in the same execution
+order* as whole numpy arrays, block by block:
+
+* an untransformed (or identity-transformed) nest walks its box in
+  lexicographic order, so each loop index along the flattened walk is
+  a pure ``(flat // inner) % span`` expression -- blocks are computed
+  lazily from the flat iteration range with no per-point Python work;
+* a restructured nest executes in the lexicographic order of the
+  transformed space.  We vectorize the exact Fourier-Motzkin bounds of
+  :mod:`repro.transform.scanning` level by level: each level's integer
+  bounds are evaluated for *all* outer prefixes at once and the prefix
+  table is expanded with ``repeat``/``arange`` arithmetic.  Addresses
+  then come from the transformed-space coefficient row
+  ``coeffs' = coeffs . T^-1`` (the address is linear in either space).
+
+Everything is exact integer arithmetic; the emitted address stream is
+byte-identical to the per-iteration walk.  numpy is optional at the
+package level -- callers check :data:`HAVE_NUMPY` and fall back to the
+per-iteration engine without it.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from math import lcm
+from typing import Iterator, Sequence
+
+from repro.simul.tracegen import NestAccessPlan
+from repro.transform.scanning import fourier_motzkin_bounds, scan_transformed_box
+from repro.transform.unimodular_loop import LoopTransform
+
+try:  # pragma: no cover - exercised implicitly by engine selection
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: Iterations per emitted block: large enough to amortize numpy call
+#: overhead, small enough to keep peak memory modest (a block is
+#: ``block * n_refs`` int64 entries).
+DEFAULT_BLOCK_ITERATIONS = 1 << 17
+
+
+def transformed_coefficients(
+    coeffs: Sequence[int], transform: LoopTransform
+) -> tuple[int, ...]:
+    """The address coefficient row over transformed iteration vectors.
+
+    ``address = const + coeffs . I`` with ``I = T^-1 I'`` gives
+    ``address = const + (coeffs . T^-1) . I'``.
+    """
+    inverse = transform.inverse
+    depth = len(coeffs)
+    return tuple(
+        sum(coeffs[i] * inverse[i][j] for i in range(depth))
+        for j in range(depth)
+    )
+
+
+def _scaled_inequalities(system, level: int) -> list[tuple[list[int], int]]:
+    """Integer-scale one level's Fourier-Motzkin inequalities.
+
+    Each inequality ``sum(c . x) <= d`` has Fraction coefficients;
+    multiplying through by the (positive) LCM of the denominators keeps
+    it exact over machine integers.
+    """
+    scaled = []
+    for inequality in system:
+        coeffs = inequality.coeffs[: level + 1]
+        scale = lcm(
+            *[c.denominator for c in coeffs], inequality.constant.denominator
+        )
+        scaled.append(
+            (
+                [int(c * scale) for c in coeffs],
+                int(inequality.constant * scale),
+            )
+        )
+    return scaled
+
+
+def _expand_levels(columns: list, systems, start_level: int, depth: int) -> list:
+    """Vectorized Fourier-Motzkin expansion of prefix columns.
+
+    ``columns`` holds one int64 array per already-fixed level (equal
+    lengths); each remaining level's integer bounds are evaluated for
+    *all* prefixes at once and the prefix table is expanded with
+    ``repeat``/``arange`` arithmetic.
+
+    Raises:
+        ValueError: when the transformed space is unbounded (cannot
+            happen for a unimodular image of a finite box).
+    """
+    prefix_count = len(columns[0]) if columns else 1
+    for level in range(start_level, depth):
+        lows = None
+        highs = None
+        infeasible = _np.zeros(prefix_count, dtype=bool)
+        for coeffs, constant in _scaled_inequalities(systems[level], level):
+            rest = _np.full(prefix_count, constant, dtype=_np.int64)
+            for j in range(level):
+                if coeffs[j]:
+                    rest -= coeffs[j] * columns[j]
+            head = coeffs[level]
+            if head == 0:
+                infeasible |= rest < 0
+            elif head > 0:
+                bound = rest // head
+                highs = bound if highs is None else _np.minimum(highs, bound)
+            else:
+                bound = -(rest // (-head))
+                lows = bound if lows is None else _np.maximum(lows, bound)
+        if lows is None or highs is None:
+            raise ValueError("transformed iteration space is unbounded")
+        counts = _np.maximum(highs - lows + 1, 0)
+        counts[infeasible] = 0
+        total = int(counts.sum())
+        offsets = _np.concatenate(
+            ([0], _np.cumsum(counts[:-1]))
+        ) if prefix_count else _np.zeros(0, dtype=_np.int64)
+        expand = _np.repeat(_np.arange(prefix_count), counts)
+        new_column = (
+            _np.repeat(lows, counts)
+            + _np.arange(total)
+            - _np.repeat(offsets, counts)
+        )
+        columns = [column[expand] for column in columns]
+        columns.append(new_column)
+        prefix_count = total
+    return columns
+
+
+def transformed_iteration_columns(
+    transform: LoopTransform, box: Sequence[tuple[int, int]]
+):
+    """Transformed-space iteration points, one numpy column per level.
+
+    The columns enumerate the image polytope ``{T I : I in box}`` in
+    lexicographic order -- the execution order of the restructured
+    nest, identical to :func:`repro.transform.scanning
+    .scan_transformed_box` (which yields the mapped-back points one at
+    a time).  Materializes the whole space; block-bounded callers use
+    :func:`iter_transformed_column_chunks`.
+    """
+    systems = fourier_motzkin_bounds(transform, box)
+    return _expand_levels([], systems, 0, transform.depth)
+
+
+def iter_transformed_column_chunks(
+    transform: LoopTransform,
+    box: Sequence[tuple[int, int]],
+    trip_count: int,
+    block_iterations: int,
+) -> Iterator[list]:
+    """Stream :func:`transformed_iteration_columns` chunk by chunk.
+
+    Chunks split the *outermost* transformed loop into ranges sized so
+    each chunk carries roughly ``block_iterations`` points (estimated
+    from the volume-preserving unimodular image), keeping peak memory
+    proportional to the block size instead of the iteration space.
+    """
+    from repro.transform.scanning import _level_bounds
+
+    depth = transform.depth
+    systems = fourier_motzkin_bounds(transform, box)
+    low, high = _level_bounds(systems[0], 0, ())
+    if low > high:
+        return
+    outer_values = high - low + 1
+    per_outer = max(1, trip_count // outer_values)
+    chunk = max(1, block_iterations // per_outer)
+    for start in range(low, high + 1, chunk):
+        stop = min(start + chunk - 1, high)
+        head = _np.arange(start, stop + 1, dtype=_np.int64)
+        columns = _expand_levels([head], systems, 1, depth)
+        if len(columns[0]):
+            yield columns
+
+
+def _address_blocks_from_columns(
+    plan: NestAccessPlan, rows, columns, block_iterations: int
+) -> Iterator:
+    """Turn per-level point columns into ``(count, addresses)`` blocks.
+
+    ``rows[r]`` is reference ``r``'s coefficient row over whichever
+    space ``columns`` enumerates (original or transformed).
+    """
+    total = len(columns[0])
+    n_refs = len(plan.accesses)
+    addresses = _np.empty((total, n_refs), dtype=_np.int64)
+    for r, access in enumerate(plan.accesses):
+        column = _np.full(total, access.const, dtype=_np.int64)
+        for axis in range(len(columns)):
+            if rows[r][axis]:
+                column += rows[r][axis] * columns[axis]
+        addresses[:, r] = column
+    for start in range(0, total, block_iterations):
+        stop = min(start + block_iterations, total)
+        yield (stop - start, addresses[start:stop])
+
+
+def iter_address_blocks(
+    plan: NestAccessPlan,
+    transform: LoopTransform | None,
+    block_iterations: int = DEFAULT_BLOCK_ITERATIONS,
+    max_iterations: int | None = None,
+) -> Iterator:
+    """Yield ``(count, addresses)`` blocks over the nest's walk.
+
+    ``addresses`` is an int64 array of shape ``(count, n_refs)``:
+    row ``t`` holds every reference's byte address at the walk's
+    ``t``-th iteration point, so ``addresses.reshape(-1)`` is the data
+    access stream in exact execution order.
+
+    ``max_iterations`` truncates the walk (iteration-space sampling for
+    large nests); ``None`` walks the full space.
+    """
+    nest = plan.nest
+    box = nest.iteration_box()
+    total = nest.trip_count
+    if max_iterations is not None:
+        total = min(total, max_iterations)
+    n_refs = len(plan.accesses)
+    if transform is not None and not transform.is_identity:
+        if total < nest.trip_count:
+            # Sampling: the cap exists to bound work on huge nests, so
+            # never enumerate the full transformed space just to slice
+            # it -- take the first `total` points from the (lazy)
+            # scanner instead.  O(total) regardless of nest size.
+            points = _np.fromiter(
+                (
+                    value
+                    for point in islice(
+                        scan_transformed_box(transform, box), total
+                    )
+                    for value in point
+                ),
+                dtype=_np.int64,
+                count=total * nest.depth,
+            ).reshape(total, nest.depth)
+            columns = [points[:, axis] for axis in range(nest.depth)]
+            rows = [access.coeffs for access in plan.accesses]
+            yield from _address_blocks_from_columns(
+                plan, rows, columns, block_iterations
+            )
+            return
+        # Full walk: vectorized Fourier-Motzkin enumeration of the
+        # transformed space, streamed chunk by chunk over the
+        # outermost transformed loop so memory stays proportional to
+        # the block size.  Addresses are linear in I' as well:
+        # coeffs' = coeffs . T^-1.
+        rows = [
+            transformed_coefficients(access.coeffs, transform)
+            for access in plan.accesses
+        ]
+        for columns in iter_transformed_column_chunks(
+            transform, box, total, block_iterations
+        ):
+            yield from _address_blocks_from_columns(
+                plan, rows, columns, block_iterations
+            )
+        return
+
+    spans = [high - low + 1 for (low, high) in box]
+    inner = [1] * nest.depth
+    for axis in range(nest.depth - 2, -1, -1):
+        inner[axis] = inner[axis + 1] * spans[axis + 1]
+    for start in range(0, total, block_iterations):
+        stop = min(start + block_iterations, total)
+        flat = _np.arange(start, stop, dtype=_np.int64)
+        addresses = _np.empty((stop - start, n_refs), dtype=_np.int64)
+        values = [
+            (flat // inner[axis]) % spans[axis] + box[axis][0]
+            for axis in range(nest.depth)
+        ]
+        for r, access in enumerate(plan.accesses):
+            column = _np.full(stop - start, access.const, dtype=_np.int64)
+            for axis in range(nest.depth):
+                if access.coeffs[axis]:
+                    column += access.coeffs[axis] * values[axis]
+            addresses[:, r] = column
+        yield (stop - start, addresses)

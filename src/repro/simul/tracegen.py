@@ -14,7 +14,7 @@ executor's hot loop does no matrix math.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.ir.loops import LoopNest
 from repro.simul.addressmap import AddressMap
@@ -39,6 +39,55 @@ class CompiledAccess:
             coefficient * value
             for coefficient, value in zip(self.coeffs, iteration)
         )
+
+    def step_table(self, box: Sequence[tuple[int, int]]) -> tuple[int, ...]:
+        """Per-axis address deltas for an odometer walk over ``box``.
+
+        ``step_table(box)[axis]`` is the address change when loop
+        ``axis`` advances by one *and every inner loop rolls over* from
+        its upper bound back to its lower bound -- exactly the state
+        change of a lexicographic walk.  Stepping is then O(1) per
+        iteration point instead of a full dot product:
+
+        ``delta[axis] = coeffs[axis] - sum_{j > axis} coeffs[j] * span_j``
+        """
+        spans = [high - low for (low, high) in box]
+        deltas = []
+        for axis in range(len(self.coeffs)):
+            rollback = sum(
+                self.coeffs[j] * spans[j]
+                for j in range(axis + 1, len(self.coeffs))
+            )
+            deltas.append(self.coeffs[axis] - rollback)
+        return tuple(deltas)
+
+    def incremental(self, box: Sequence[tuple[int, int]]) -> "IncrementalAddress":
+        """An O(1)-per-step address walker starting at the box origin."""
+        origin = tuple(low for (low, _) in box)
+        return IncrementalAddress(
+            self.address_at(origin), self.step_table(box)
+        )
+
+
+class IncrementalAddress:
+    """Streams one reference's addresses along a lexicographic walk.
+
+    The executor's hot loop calls :meth:`step` with the axis the
+    iteration odometer just incremented (inner axes having rolled
+    over); the address is updated with one table lookup and one add.
+    """
+
+    __slots__ = ("address", "_deltas")
+
+    def __init__(self, start: int, deltas: tuple[int, ...]):
+        self.address = start
+        self._deltas = deltas
+
+    def step(self, axis: int) -> int:
+        """Advance axis ``axis`` (inner axes roll over); returns the
+        new address."""
+        self.address += self._deltas[axis]
+        return self.address
 
 
 @dataclass(frozen=True)

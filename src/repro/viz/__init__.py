@@ -1,9 +1,12 @@
 """ASCII visualizations of the paper's illustrative figures."""
 
+from repro.viz.chart import ranking_agreement_chart, stacked_bar_chart
 from repro.viz.layout_art import render_layout_grid, layout_gallery
 from repro.viz.search_art import render_search_trace, TraceRecorder
 
 __all__ = [
+    "ranking_agreement_chart",
+    "stacked_bar_chart",
     "render_layout_grid",
     "layout_gallery",
     "render_search_trace",

@@ -1,4 +1,4 @@
-"""ASCII bar charts (used for the Figure 4 breakdown)."""
+"""ASCII bar charts (Figure 4 breakdown, ranking agreement)."""
 
 from __future__ import annotations
 
@@ -6,6 +6,52 @@ from typing import Mapping, Sequence
 
 #: Fill characters per series, cycled.
 _FILLS = "#=+*o"
+
+
+def ranking_agreement_chart(
+    labels: Sequence[str],
+    analytic: Sequence[float],
+    refined: Sequence[float],
+    refined_name: str = "simulated",
+    width: int = 24,
+) -> str:
+    """Side-by-side ranks of two cost models over the same candidates.
+
+    Each candidate gets its rank under both scorings plus a bar of its
+    refined score (normalized to the worst candidate); a trailing line
+    reports the Kendall tau.  This is the picture of where the
+    analytic model mispredicted -- rows whose two ranks differ.
+
+    Raises:
+        ValueError: on length mismatch or empty input.
+    """
+    from repro.eval.agreement import kendall_tau, rank_positions
+
+    if not labels or len(labels) != len(analytic) or len(labels) != len(refined):
+        raise ValueError("need equal, nonempty labels/analytic/refined")
+    analytic_ranks = rank_positions(analytic)
+    refined_ranks = rank_positions(refined)
+    label_width = max(len(label) for label in labels)
+    worst = max(refined)
+    lines = [
+        f"{'candidate'.ljust(label_width)}  analytic  {refined_name:<9} "
+        f"{refined_name} score"
+    ]
+    for index, label in enumerate(labels):
+        marker = " " if analytic_ranks[index] == refined_ranks[index] else "!"
+        bar = "#" * max(
+            1, int(round(width * (refined[index] / worst))) if worst > 0 else 1
+        )
+        lines.append(
+            f"{label.ljust(label_width)}  #{analytic_ranks[index]:<7} "
+            f"#{refined_ranks[index]:<7}{marker} {bar} {refined[index]:,.0f}"
+        )
+    tau = kendall_tau(analytic, refined)
+    lines.append(
+        f"agreement: tau={tau:+.2f} "
+        f"('!' rows are where the analytic model mispredicted)"
+    )
+    return "\n".join(lines)
 
 
 def stacked_bar_chart(

@@ -1,0 +1,141 @@
+"""Hierarchy-config validation, reset/reuse, and batch-access parity."""
+
+import random
+
+import pytest
+
+from repro.cachesim.cache import Cache, ReplacementPolicy
+from repro.cachesim.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+class TestHierarchyConfigValidation:
+    def test_defaults_are_valid(self):
+        HierarchyConfig()
+
+    def test_non_positive_latency_rejected(self):
+        with pytest.raises(ValueError, match="latencies"):
+            HierarchyConfig(l2_latency=0)
+
+    def test_non_power_of_two_size_rejected(self):
+        with pytest.raises(ValueError, match="l1_size"):
+            HierarchyConfig(l1_size=3000)
+        with pytest.raises(ValueError, match="l2_size"):
+            HierarchyConfig(l2_size=96 * 1024)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError, match="l1_line"):
+            HierarchyConfig(l1_line=48)
+        with pytest.raises(ValueError, match="l2_line"):
+            HierarchyConfig(l2_line=0)
+
+    def test_line_larger_than_size_rejected(self):
+        with pytest.raises(ValueError, match="cannot exceed"):
+            HierarchyConfig(l1_size=1024, l1_line=2048)
+
+    def test_associativity_must_divide_set_count(self):
+        with pytest.raises(ValueError, match="l1_associativity"):
+            HierarchyConfig(l1_associativity=3)
+        with pytest.raises(ValueError, match="l2_associativity"):
+            HierarchyConfig(l2_associativity=0)
+
+    def test_fingerprint_distinguishes_machines(self):
+        assert (
+            HierarchyConfig().fingerprint()
+            != HierarchyConfig(l2_latency=9).fingerprint()
+        )
+
+
+class TestReset:
+    def test_cache_reset_restores_cold_state(self):
+        cache = Cache("L1D", 1024, 2, 32)
+        for address in range(0, 4096, 32):
+            cache.access(address, 4, is_write=True)
+        assert cache.stats.accesses > 0
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.stats.writebacks == 0
+        assert not cache.contains(0)
+
+    def test_hierarchy_reset_zeros_every_level(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access_data(0x1000, 4, is_write=True)
+        hierarchy.access_instruction(0x4000)
+        hierarchy.reset()
+        report = hierarchy.report()
+        for level in ("L1D", "L1I", "L2"):
+            assert report[level]["accesses"] == 0
+
+    def test_random_policy_reset_reseeds(self):
+        def victim_trace():
+            cache = Cache("c", 256, 2, 32, policy=ReplacementPolicy.RANDOM, seed=7)
+            trace = []
+            for line in range(64):
+                trace.append(cache.access_line(line * 4, False))
+            cache.reset()
+            for line in range(64):
+                trace.append(cache.access_line(line * 4 + 1, False))
+            return trace
+
+        assert victim_trace() == victim_trace()
+
+
+class TestBatchParity:
+    """hierarchy.access_data_lines == sequential access_data, exactly."""
+
+    def _random_stream(self, seed, count=4000, lines=600):
+        rng = random.Random(seed)
+        return (
+            [rng.randrange(lines) for _ in range(count)],
+            [rng.random() < 0.3 for _ in range(count)],
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_batch_matches_sequential(self, seed):
+        np = pytest.importorskip("numpy")
+        line_list, write_list = self._random_stream(seed)
+
+        sequential = MemoryHierarchy()
+        l1_line = sequential.l1_data.line_size
+        for line, is_write in zip(line_list, write_list):
+            sequential.access_data(line * l1_line, 4, is_write)
+
+        batched = MemoryHierarchy()
+        total, l1_misses, l2_misses = batched.access_data_lines(
+            np.asarray(line_list, dtype=np.int64),
+            np.asarray(write_list, dtype=bool),
+        )
+        assert batched.report() == sequential.report()
+        assert total == len(line_list)
+        assert l1_misses == sequential.report()["L1D"]["misses"]
+        assert l2_misses == sequential.report()["L2"]["misses"]
+
+    def test_batch_preserves_state_for_later_accesses(self):
+        np = pytest.importorskip("numpy")
+        line_list, write_list = self._random_stream(9, count=1000)
+        sequential = MemoryHierarchy()
+        l1_line = sequential.l1_data.line_size
+        for line, is_write in zip(line_list, write_list):
+            sequential.access_data(line * l1_line, 4, is_write)
+        batched = MemoryHierarchy()
+        batched.access_data_lines(
+            np.asarray(line_list, dtype=np.int64),
+            np.asarray(write_list, dtype=bool),
+        )
+        # Continue per-access on both: states must have converged.
+        for line in range(50):
+            assert sequential.access_data(
+                line * l1_line, 4, False
+            ) == batched.access_data(line * l1_line, 4, False)
+        assert batched.report() == sequential.report()
+
+    def test_empty_batch_is_noop(self):
+        np = pytest.importorskip("numpy")
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.access_data_lines(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+        ) == (0, 0, 0)
+
+    def test_random_policy_rejected_for_runs(self):
+        cache = Cache("c", 256, 2, 32, policy=ReplacementPolicy.RANDOM)
+        with pytest.raises(ValueError, match="deterministic"):
+            cache.access_line_runs([1], [1], [1], [0])

@@ -1,0 +1,165 @@
+"""Tests for the cost-model registry and the three built-in models."""
+
+import pytest
+
+from repro.eval import (
+    AnalyticCostModel,
+    SimulatedCostModel,
+    WeightedCostModel,
+    available_cost_models,
+    get_cost_model,
+    kendall_tau,
+    rank_positions,
+    register_cost_model,
+)
+from repro.eval.cost import Cost
+from repro.ir.parser import parse_program
+from repro.layout.layout import column_major, row_major
+from repro.opt.network_builder import build_layout_network
+from repro.opt.optimizer import LayoutOptimizer
+
+#: B is walked column-wise (j inner, first subscript j): column-major
+#: is right for B, row-major for OUT.
+COLUMN_WALK = """
+array B[64][64]
+array OUT[64][64]
+nest walk {
+    for i = 0 .. 63 { for j = 0 .. 63 { OUT[i][j] = B[j][i] } }
+}
+"""
+
+
+def _program():
+    return parse_program(COLUMN_WALK)
+
+
+def _good_layouts():
+    return {"B": column_major(2), "OUT": row_major(2)}
+
+
+def _bad_layouts():
+    return {"B": row_major(2), "OUT": column_major(2)}
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert available_cost_models() == ("analytic", "simulated", "weighted")
+
+    def test_get_by_name(self):
+        assert get_cost_model("analytic").name == "analytic"
+        assert get_cost_model("simulated").name == "simulated"
+        assert get_cost_model("weighted").name == "weighted"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown cost model"):
+            get_cost_model("psychic")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_cost_model("analytic")
+            class Impostor:
+                name = "analytic"
+
+    def test_reregistering_same_class_is_noop(self):
+        register_cost_model("analytic")(AnalyticCostModel)
+
+
+class TestAnalyticModel:
+    def test_good_layouts_cost_less(self):
+        model = AnalyticCostModel()
+        program = _program()
+        good = model.score(program, _good_layouts())
+        bad = model.score(program, _bad_layouts())
+        assert good.value < bad.value
+        assert good.unit == "est-misses"
+        assert good.model == "analytic"
+
+    def test_reference_classes_counted(self):
+        model = AnalyticCostModel()
+        details = model.score(_program(), _good_layouts()).details
+        classes = details["reference_classes"]
+        assert classes["spatial"] == 2
+        assert classes["none"] == 0
+
+    def test_bad_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            AnalyticCostModel(line_size=0)
+
+
+class TestWeightedModel:
+    def test_solution_costs_zero(self):
+        program = _program()
+        network = build_layout_network(program)
+        outcome = LayoutOptimizer(scheme="enhanced").optimize(program)
+        model = WeightedCostModel(network=network)
+        cost = model.score(program, outcome.layouts)
+        assert cost.value == 0.0
+        assert cost.details["satisfied_weight"] == cost.details["total_weight"]
+
+    def test_violations_are_priced(self):
+        from repro.layout.layout import diagonal
+
+        # Union semantics admit the interchange-matched pair, so the
+        # row/column swap still satisfies the network; the diagonal
+        # pair suits no restructuring of this nest at all.
+        program = _program()
+        model = WeightedCostModel(network=build_layout_network(program))
+        cost = model.score(program, {"B": diagonal(), "OUT": diagonal()})
+        assert cost.value > 0.0
+        assert cost.unit == "violated-weight"
+
+
+class TestSimulatedModel:
+    def test_good_layouts_cost_fewer_cycles(self):
+        model = SimulatedCostModel()
+        program = _program()
+        good = model.score(program, _good_layouts())
+        bad = model.score(program, _bad_layouts())
+        assert good.value < bad.value
+        assert good.unit == "cycles"
+        assert good.details["cache_report"]["L1D"]["accesses"] > 0
+
+    def test_hierarchy_reuse_is_deterministic(self):
+        model = SimulatedCostModel()
+        program = _program()
+        first = model.score(program, _good_layouts())
+        second = model.score(program, _good_layouts())
+        assert first.value == second.value
+        assert first.details["cache_report"] == second.details["cache_report"]
+
+    def test_sampling_cap_marks_result(self):
+        model = SimulatedCostModel(max_iterations_per_nest=100)
+        cost = model.score(_program(), _good_layouts())
+        assert cost.details["sampled"] is True
+
+    def test_custom_hierarchy_changes_cost(self):
+        from repro.cachesim.hierarchy import HierarchyConfig
+
+        program = _program()
+        slow = SimulatedCostModel(
+            hierarchy_config=HierarchyConfig(memory_latency=300)
+        ).score(program, _bad_layouts())
+        fast = SimulatedCostModel().score(program, _bad_layouts())
+        assert slow.value > fast.value
+
+
+class TestAgreement:
+    def test_rank_positions(self):
+        assert rank_positions([30.0, 10.0, 20.0]) == [3, 1, 2]
+
+    def test_tau_bounds(self):
+        assert kendall_tau([1, 2, 3], [10, 20, 30]) == 1.0
+        assert kendall_tau([1, 2, 3], [30, 20, 10]) == -1.0
+
+    def test_tau_ignores_ties(self):
+        assert kendall_tau([1, 1, 2], [5, 9, 7]) == 0.0
+
+    def test_tau_length_mismatch(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1], [1, 2])
+
+    def test_cost_str(self):
+        assert str(Cost("analytic", 1234.0, "est-misses")) == (
+            "analytic: 1,234 est-misses"
+        )

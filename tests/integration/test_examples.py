@@ -55,6 +55,13 @@ def test_service_demo():
     assert "served 5/5 from cache (100.0%)" in output
 
 
+def test_simulation_guided():
+    output = _run("simulation_guided.py")
+    assert "refine='simulated'" in output
+    assert "agreement: tau=" in output
+    assert "simulation-guided choice" in output
+
+
 @pytest.mark.slow
 def test_matmul_pipeline():
     output = _run("matmul_pipeline.py")

@@ -1,0 +1,102 @@
+"""Golden-output test for the textual optimization report."""
+
+import textwrap
+
+from repro.csp.stats import SolverStats
+from repro.eval.cost import Cost
+from repro.layout.layout import column_major, row_major
+from repro.opt.optimizer import (
+    CandidateScore,
+    OptimizationOutcome,
+    RefinementReport,
+)
+from repro.opt.report import optimization_report
+
+
+def _outcome(cost=None, refinement=None):
+    """A hand-built outcome: every field fixed, so the report is too."""
+    return OptimizationOutcome(
+        program="golden",
+        scheme="enhanced",
+        layouts={"A": row_major(2), "B": column_major(2)},
+        stats=SolverStats(nodes=12, consistency_checks=345, backtracks=6),
+        solve_seconds=0.123,
+        network=None,
+        exact=True,
+        cost=cost,
+        refinement=refinement,
+    )
+
+
+class TestGoldenReport:
+    def test_plain_outcome(self):
+        expected = textwrap.dedent(
+            """\
+            program: golden
+            scheme: enhanced (exact)
+            layouts:
+            array  layout
+            -----  -------------------
+            A      row-major (1  0)
+            B      column-major (0  1)
+            solver effort: 12 nodes, 345 consistency checks, 6 backtracks"""
+        )
+        assert optimization_report(_outcome()) == expected
+
+    def test_simulated_cost_and_refinement(self):
+        cost = Cost(
+            model="simulated",
+            value=123456.0,
+            unit="cycles",
+            details={
+                "cache_report": {
+                    "L1D": {"hit_rate": 0.875},
+                    "L1I": {"hit_rate": 0.999},
+                    "L2": {"hit_rate": 0.5},
+                }
+            },
+        )
+        refinement = RefinementReport(
+            model="simulated",
+            candidates=(
+                CandidateScore(
+                    label="search",
+                    layouts={},
+                    analytic_value=1000.0,
+                    refined_value=130000.0,
+                ),
+                CandidateScore(
+                    label="solution-1",
+                    layouts={},
+                    analytic_value=1200.0,
+                    refined_value=123456.0,
+                    chosen=True,
+                ),
+            ),
+            agreement=-1.0,
+            evaluate_seconds=0.5,
+        )
+        expected = textwrap.dedent(
+            """\
+            program: golden
+            scheme: enhanced (exact)
+            layouts:
+            array  layout
+            -----  -------------------
+            A      row-major (1  0)
+            B      column-major (0  1)
+            solver effort: 12 nodes, 345 consistency checks, 6 backtracks
+            cost model: simulated -> 123,456 cycles
+            simulated hit rates: L1D 87.5%  L1I 99.9%  L2 50.0%
+            refinement (simulated, agreement tau=-1.00):
+            candidate   analytic  simulated  chosen
+            ----------  --------  ---------  ------
+            search      1,000     130,000
+            solution-1  1,200     123,456    *"""
+        )
+        assert optimization_report(_outcome(cost, refinement)) == expected
+
+    def test_best_effort_label(self):
+        outcome = _outcome()
+        outcome.exact = False
+        assert "best-effort" in optimization_report(outcome)

@@ -100,3 +100,55 @@ class TestCompiledAccesses:
         assert plan.accesses[0].is_write is False
         assert plan.accesses[1].is_write is True
         assert plan.accesses[0].size == 4
+
+
+class TestIncrementalStepping:
+    """The step-delta table must reproduce the full dot product."""
+
+    @pytest.mark.parametrize(
+        "layout_a,layout_b",
+        [
+            (row_major(2), row_major(2)),
+            (column_major(2), row_major(2)),
+            (diagonal(), column_major(2)),
+        ],
+    )
+    def test_incremental_addresses_pin_address_at(self, layout_a, layout_b):
+        """Regression: walking the box with step(axis) yields exactly
+        the addresses address_at computes point by point."""
+        program = _program()
+        amap = AddressMap(program, {"A": layout_a, "B": layout_b})
+        nest = program.nests[0]
+        plan = compile_nest_accesses(nest, amap, code_base=0)
+        box = nest.iteration_box()
+        for access in plan.accesses:
+            walker = access.incremental(box)
+            previous = None
+            for point in nest.iterations():
+                if previous is not None:
+                    # The axis that advanced is the outermost changed one.
+                    axis = next(
+                        i for i in range(len(point)) if point[i] != previous[i]
+                    )
+                    walker.step(axis)
+                assert walker.address == access.address_at(point), point
+                previous = point
+
+    def test_step_table_innermost_is_coefficient(self):
+        program = _program()
+        amap = AddressMap(program, {"A": row_major(2), "B": row_major(2)})
+        plan = compile_nest_accesses(program.nests[0], amap, code_base=0)
+        box = program.nests[0].iteration_box()
+        for access in plan.accesses:
+            deltas = access.step_table(box)
+            assert deltas[-1] == access.coeffs[-1]
+
+    def test_step_table_outer_includes_rollover(self):
+        program = _program()
+        amap = AddressMap(program, {"A": row_major(2), "B": row_major(2)})
+        plan = compile_nest_accesses(program.nests[0], amap, code_base=0)
+        box = program.nests[0].iteration_box()
+        access = plan.accesses[1]  # A[i][j], row-major: coeffs (32, 4)
+        deltas = access.step_table(box)
+        span = box[1][1] - box[1][0]
+        assert deltas[0] == access.coeffs[0] - access.coeffs[1] * span

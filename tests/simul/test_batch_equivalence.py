@@ -1,0 +1,184 @@
+"""The batch engine must be byte-identical to the per-iteration engine."""
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.ir.parser import parse_program
+from repro.layout.layout import column_major, diagonal, row_major
+from repro.simul.executor import ENGINES, resolve_engine, simulate_program
+from repro.transform.unimodular_loop import (
+    compose,
+    permutation_transform,
+    reversal_transform,
+    skew_transform,
+)
+
+MIXED = """
+array A[79][40]
+array B[40][40]
+array C[40][40]
+nest n1 weight=2 {
+    for i = 0 .. 39 { for j = 0 .. 39 { A[i][j] = B[j][i] } }
+}
+nest n2 {
+    for i = 0 .. 39 { for j = 0 .. 39 { C[i][j] = A[i+j][j] } }
+}
+"""
+
+DEEP = """
+array T[12][12][12]
+nest cube weight=3 {
+    for i = 0 .. 11 { for j = 0 .. 11 { for k = 0 .. 11 {
+        T[k][j][i] = T[i][j][k]
+    } } }
+}
+"""
+
+
+def _key(result):
+    return (
+        result.cycles,
+        result.instructions,
+        result.memory_accesses,
+        result.cache_report,
+        result.footprint_bytes,
+    )
+
+
+def _assert_engines_agree(program, layouts, transforms=None, **kwargs):
+    periter = simulate_program(
+        program, layouts, transforms=transforms, engine="periter", **kwargs
+    )
+    batch = simulate_program(
+        program, layouts, transforms=transforms, engine="batch", **kwargs
+    )
+    assert _key(batch) == _key(periter)
+    assert batch.engine == "batch" and periter.engine == "periter"
+    return batch
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "layouts",
+        [
+            {"A": row_major(2), "B": row_major(2), "C": row_major(2)},
+            {"A": column_major(2), "B": row_major(2), "C": diagonal()},
+        ],
+        ids=["row-major", "mixed"],
+    )
+    def test_untransformed(self, layouts):
+        _assert_engines_agree(parse_program(MIXED), layouts)
+
+    @pytest.mark.parametrize(
+        "transform",
+        [
+            permutation_transform((1, 0)),
+            reversal_transform(2, 1),
+            skew_transform(2, 0, 1, 1),
+            compose(permutation_transform((1, 0)), skew_transform(2, 1, 0, 2)),
+        ],
+        ids=["interchange", "reversal", "skew", "interchange*skew"],
+    )
+    def test_transformed(self, transform):
+        program = parse_program(MIXED)
+        layouts = {"A": row_major(2), "B": column_major(2), "C": diagonal()}
+        _assert_engines_agree(
+            program, layouts, transforms={"n1": transform, "n2": transform}
+        )
+
+    def test_depth_three_nest(self):
+        program = parse_program(DEEP)
+        _assert_engines_agree(program, {"T": row_major(3)})
+        _assert_engines_agree(
+            program,
+            {"T": row_major(3)},
+            transforms={"cube": permutation_transform((2, 0, 1))},
+        )
+
+    def test_sampling_cap_agrees_across_engines(self):
+        program = parse_program(MIXED)
+        layouts = {"A": row_major(2), "B": row_major(2), "C": row_major(2)}
+        result = _assert_engines_agree(
+            program, layouts, max_iterations_per_nest=500
+        )
+        assert result.sampled is True
+        full = simulate_program(program, layouts)
+        assert full.sampled is False
+        assert result.cycles != full.cycles  # truncation + scaling differ
+
+    def test_sampling_cap_agrees_on_transformed_nests(self):
+        """The capped transformed walk takes the scanner's prefix, not
+        a slice of the fully-materialized space; totals must still be
+        engine-identical."""
+        program = parse_program(MIXED)
+        layouts = {"A": row_major(2), "B": column_major(2), "C": diagonal()}
+        transform = compose(
+            permutation_transform((1, 0)), skew_transform(2, 1, 0, 2)
+        )
+        result = _assert_engines_agree(
+            program,
+            layouts,
+            transforms={"n1": transform, "n2": skew_transform(2, 0, 1, 1)},
+            max_iterations_per_nest=300,
+        )
+        assert result.sampled is True
+
+    def test_auto_engine_resolves_to_batch_with_numpy(self):
+        assert resolve_engine("auto") == "batch"
+        assert set(ENGINES) == {"batch", "periter"}
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulate_program(
+                parse_program(DEEP), {"T": row_major(3)}, engine="quantum"
+            )
+
+    def test_bad_sampling_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_iterations_per_nest"):
+            simulate_program(
+                parse_program(DEEP),
+                {"T": row_major(3)},
+                max_iterations_per_nest=0,
+            )
+
+
+class TestBlockStreaming:
+    def test_transformed_full_walk_streams_in_blocks(self):
+        """Small block sizes must chunk the transformed walk without
+        changing the emitted address stream."""
+        import numpy as np
+
+        from repro.simul.addressmap import AddressMap
+        from repro.simul.batchwalk import iter_address_blocks
+        from repro.simul.tracegen import compile_nest_accesses
+
+        program = parse_program(MIXED)
+        layouts = {"A": row_major(2), "B": column_major(2), "C": diagonal()}
+        amap = AddressMap(program, layouts)
+        plan = compile_nest_accesses(program.nests[0], amap, code_base=0)
+        transform = skew_transform(2, 0, 1, 1)
+        one_shot = np.concatenate(
+            [a for _, a in iter_address_blocks(plan, transform)]
+        )
+        blocks = [
+            a for _, a in iter_address_blocks(
+                plan, transform, block_iterations=64
+            )
+        ]
+        assert len(blocks) > 1
+        assert all(len(block) <= 64 for block in blocks)
+        assert np.array_equal(np.concatenate(blocks), one_shot)
+
+
+class TestHierarchyReuse:
+    def test_reused_hierarchy_matches_fresh(self):
+        from repro.cachesim.hierarchy import MemoryHierarchy
+
+        program = parse_program(MIXED)
+        layouts = {"A": row_major(2), "B": row_major(2), "C": row_major(2)}
+        shared = MemoryHierarchy()
+        warm = simulate_program(program, layouts, hierarchy=shared)
+        again = simulate_program(program, layouts, hierarchy=shared)
+        fresh = simulate_program(program, layouts)
+        assert _key(warm) == _key(again) == _key(fresh)

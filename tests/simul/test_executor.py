@@ -98,3 +98,69 @@ class TestResultFields:
         assert result.cache_report["L1D"]["accesses"] == N * N
         assert result.memory_accesses == N * N
         assert result.cycles > 0
+
+
+def _copy_program(weight: int = 1):
+    """OUT[i][j] = B[i][j]: one read and one write per iteration."""
+    arrays = (ArrayDecl("B", (N, N)), ArrayDecl("OUT", (N, N)))
+    nest = LoopNest(
+        "copy",
+        (Loop("i", 0, N - 1), Loop("j", 0, N - 1)),
+        (
+            ArrayRef("B", (_i, _j), AccessKind.READ),
+            ArrayRef("OUT", (_i, _j), AccessKind.WRITE),
+        ),
+        weight=weight,
+    )
+    return Program("copy", arrays, (nest,))
+
+
+class TestWritePaths:
+    """Write traffic: access counts, writebacks, determinism."""
+
+    def test_read_write_access_counts(self):
+        result = simulate_program(
+            _copy_program(), {"B": row_major(2), "OUT": row_major(2)}
+        )
+        # One read + one write per iteration, all single-line.
+        assert result.memory_accesses == 2 * N * N
+        assert result.cache_report["L1D"]["accesses"] == 2 * N * N
+
+    def test_writes_cause_writebacks(self):
+        """OUT (100KB) streams through the 8KB L1 dirty: nearly every
+        evicted OUT line is written back; read-only B contributes none."""
+        result = simulate_program(
+            _copy_program(), {"B": row_major(2), "OUT": row_major(2)}
+        )
+        stats = result.cache_report["L1D"]
+        line_elements = 32 // 4
+        out_lines = N * N // line_elements
+        assert stats["writebacks"] >= 0.9 * out_lines
+        assert stats["writebacks"] <= stats["evictions"]
+
+    def test_read_only_program_has_no_writebacks(self):
+        result = simulate_program(_column_walk_program(), {"B": row_major(2)})
+        assert result.cache_report["L1D"]["writebacks"] == 0
+        assert result.cache_report["L2"]["writebacks"] == 0
+
+    def test_weight_scales_write_statistics_totals(self):
+        light = simulate_program(
+            _copy_program(weight=1), {"B": row_major(2), "OUT": row_major(2)}
+        )
+        heavy = simulate_program(
+            _copy_program(weight=4), {"B": row_major(2), "OUT": row_major(2)}
+        )
+        assert heavy.memory_accesses == 4 * light.memory_accesses
+        assert heavy.cycles == 4 * light.cycles
+
+    def test_simulation_is_deterministic_across_runs(self):
+        """Identical totals (including write/writeback statistics) for
+        two independent runs of the same configuration."""
+        layouts = {"B": row_major(2), "OUT": column_major(2)}
+        runs = [
+            simulate_program(_copy_program(), layouts) for _ in range(2)
+        ]
+        assert runs[0].cycles == runs[1].cycles
+        assert runs[0].instructions == runs[1].instructions
+        assert runs[0].memory_accesses == runs[1].memory_accesses
+        assert runs[0].cache_report == runs[1].cache_report
