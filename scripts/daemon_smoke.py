@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""CI smoke check for the resident solver daemon.
+
+Streams a 10-request mixed solve/evaluate batch through a running
+daemon twice and asserts:
+
+* every response is ``ok`` on both passes;
+* the second pass serves **>= 50%** of requests from the daemon's
+  sharded cache;
+* solve payloads are byte-identical across the two passes.
+
+Usage::
+
+    python -m repro.service --serve --socket /tmp/repro.sock &
+    python scripts/daemon_smoke.py /tmp/repro.sock
+    wait  # the smoke script asks the daemon to shut down when done
+
+Exits non-zero (with a diagnostic) on any violation, so a CI job can
+gate on it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.bench import build_benchmark, random_suite
+from repro.service.stream import DaemonClient, evaluate_request, solve_request
+
+
+def wait_for_socket(path: str, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not os.path.exists(path):
+        if time.monotonic() > deadline:
+            raise SystemExit(f"daemon socket {path} never appeared")
+        time.sleep(0.1)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        raise SystemExit(f"usage: {argv[0]} SOCKET_PATH")
+    socket_path = argv[1]
+    wait_for_socket(socket_path)
+
+    # 10 mixed requests: 5 solves, 5 evaluations (cheap analytic model).
+    programs = [build_benchmark("MxM")] + list(random_suite(4, seed=3))
+    requests = [solve_request(program) for program in programs] + [
+        evaluate_request(program, cost_model="analytic") for program in programs
+    ]
+
+    with DaemonClient(socket_path) as client:
+        hello = client.ping()
+        print(f"daemon hello: {hello['result']}")
+        first = client.request_many(requests)
+        second = client.request_many(requests)
+        stats = client.stats()
+
+    for index, response in enumerate(first + second):
+        if not response.get("ok"):
+            print(f"FAIL: request {index} errored: {response.get('error')}")
+            return 1
+
+    cached = sum(bool(response.get("from_cache")) for response in second)
+    fraction = cached / len(second)
+    print(
+        f"second pass: {cached}/{len(second)} served from cache "
+        f"({100.0 * fraction:.0f}%)"
+    )
+    print(f"daemon counters: {stats['counters']}")
+    if fraction < 0.5:
+        print("FAIL: second pass must be >= 50% cache-served")
+        return 1
+
+    solves = len(programs)
+    for before, after in zip(first[:solves], second[:solves]):
+        if json.dumps(before["result"], sort_keys=True) != json.dumps(
+            after["result"], sort_keys=True
+        ):
+            print(f"FAIL: payload drift for {before['result'].get('program')}")
+            return 1
+    with DaemonClient(socket_path) as client:
+        client.shutdown()
+    print("OK: daemon smoke passed (daemon asked to shut down)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -31,6 +31,11 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-versus-measured comparison.
 """
 
+#: Package version; surfaced by ``python -m repro.service --version``.
+#: Defined before the subpackage imports below: the service daemon
+#: reports it in its hello and imports it mid-package-init.
+__version__ = "1.4.0"
+
 from repro.ir import (
     AffineExpr,
     ArrayDecl,
@@ -79,12 +84,11 @@ from repro.service import (
     PortfolioConfig,
     PortfolioSolver,
     ResultCache,
+    ShardedResultCache,
+    SolverDaemon,
     run_batch,
     run_evaluation_batch,
 )
-
-#: Package version; surfaced by ``python -m repro.service --version``.
-__version__ = "1.3.0"
 
 __all__ = [
     "AffineExpr",
@@ -125,6 +129,8 @@ __all__ = [
     "PortfolioConfig",
     "PortfolioSolver",
     "ResultCache",
+    "ShardedResultCache",
+    "SolverDaemon",
     "run_batch",
     "run_evaluation_batch",
     "__version__",

@@ -23,6 +23,7 @@ from repro.opt.optimizer import (
     RefinementReport,
     select_transforms,
     repair_inflation,
+    shared_optimizer,
 )
 from repro.opt.heuristic import HeuristicOptimizer
 from repro.opt.dynamic import DynamicLayoutPlanner, DynamicPlan
@@ -38,6 +39,7 @@ __all__ = [
     "RefinementReport",
     "select_transforms",
     "repair_inflation",
+    "shared_optimizer",
     "HeuristicOptimizer",
     "DynamicLayoutPlanner",
     "DynamicPlan",

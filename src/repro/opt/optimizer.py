@@ -168,6 +168,7 @@ class LayoutOptimizer:
         refine_top_k: int = 8,
     ):
         self._portfolio = None
+        self._portfolio_solver = None
         self._solver = None
         portfolio_config = _as_portfolio_config(scheme, seed)
         if portfolio_config is not None:
@@ -333,12 +334,21 @@ class LayoutOptimizer:
         return outcome
 
     def _optimize_portfolio(self, program: Program) -> OptimizationOutcome:
-        """Delegate to the service layer's racing portfolio."""
-        from repro.service.portfolio import PortfolioSolver
+        """Delegate to the service layer's racing portfolio.
 
-        result = PortfolioSolver(self._portfolio, options=self._options).optimize(
-            program
-        )
+        The solver instance is built once and reused for every request
+        this optimizer serves -- resident processes (the service
+        daemon's warm workers) keep optimizers alive across requests,
+        and rebuilding the portfolio plumbing per call was the last
+        per-request setup cost left on that path.
+        """
+        if self._portfolio_solver is None:
+            from repro.service.portfolio import PortfolioSolver
+
+            self._portfolio_solver = PortfolioSolver(
+                self._portfolio, options=self._options
+            )
+        result = self._portfolio_solver.optimize(program)
         network = result.network
         if network is None:  # served from a cache: rebuild provenance
             network = build_layout_network(program, self._options)
@@ -351,6 +361,47 @@ class LayoutOptimizer:
             network=network,
             exact=result.exact,
         )
+
+
+#: Bounded pool of shared optimizer instances, keyed by configuration.
+_SHARED_OPTIMIZERS: dict[tuple, LayoutOptimizer] = {}
+_SHARED_OPTIMIZERS_CAP = 32
+
+
+def shared_optimizer(
+    scheme="enhanced",
+    seed: int = 0,
+    options: BuildOptions | None = None,
+    refine=None,
+    refine_top_k: int = 8,
+) -> LayoutOptimizer:
+    """A process-shared, reusable :class:`LayoutOptimizer`.
+
+    Resident services serve many requests per process; constructing a
+    fresh optimizer per request rebuilds the same solver/portfolio
+    plumbing every time.  This factory memoizes instances by their
+    full configuration (an optimizer is stateless between ``optimize``
+    calls, so sharing is safe within one thread of control) and keeps
+    the pool bounded.  Configured model instances (``refine`` given as
+    a :class:`~repro.eval.CostModel`) are not memoizable -- those
+    callers get a fresh optimizer.
+    """
+    if refine is not None and not isinstance(refine, str):
+        return LayoutOptimizer(
+            scheme=scheme, seed=seed, options=options,
+            refine=refine, refine_top_k=refine_top_k,
+        )
+    key = (repr(scheme), seed, repr(options), refine, refine_top_k)
+    optimizer = _SHARED_OPTIMIZERS.get(key)
+    if optimizer is None:
+        optimizer = LayoutOptimizer(
+            scheme=scheme, seed=seed, options=options,
+            refine=refine, refine_top_k=refine_top_k,
+        )
+        if len(_SHARED_OPTIMIZERS) >= _SHARED_OPTIMIZERS_CAP:
+            _SHARED_OPTIMIZERS.pop(next(iter(_SHARED_OPTIMIZERS)))
+        _SHARED_OPTIMIZERS[key] = optimizer
+    return optimizer
 
 
 def _layout_key(layouts: Mapping[str, Layout]) -> tuple:

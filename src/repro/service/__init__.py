@@ -18,12 +18,19 @@ scheme; this package turns it into a serving stack:
   price a program's layouts under any registered cost model with
   per-request cache-hierarchy overrides (one deployment, many
   machine models).
+* :mod:`repro.service.daemon` -- the resident solver daemon: an async
+  streaming loop over a persistent warm worker pool, fronted by a
+  *sharded* persistent result cache with backpressure.
+* :mod:`repro.service.stream` -- the daemon's JSON-lines wire protocol
+  and the synchronous pipelining :class:`DaemonClient`.
 * :mod:`repro.service.cli` -- the ``python -m repro.service`` front
-  end tying it all together.
+  end tying it all together (``--serve`` / ``--connect`` for the
+  daemon).
 """
 
 from repro.service.batch import BatchReport, run_batch
-from repro.service.cache import CacheStats, ResultCache
+from repro.service.cache import CacheStats, ResultCache, ShardedResultCache
+from repro.service.daemon import DaemonConfig, SolverDaemon
 from repro.service.evaluate import (
     EvaluationRequest,
     EvaluationResult,
@@ -45,12 +52,18 @@ from repro.service.portfolio import (
     SchemeOutcome,
     known_schemes,
 )
+from repro.service.stream import DaemonClient, ProtocolError
 
 __all__ = [
     "BatchReport",
     "run_batch",
     "CacheStats",
     "ResultCache",
+    "ShardedResultCache",
+    "DaemonConfig",
+    "SolverDaemon",
+    "DaemonClient",
+    "ProtocolError",
     "EvaluationRequest",
     "EvaluationResult",
     "EvaluationService",

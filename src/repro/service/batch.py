@@ -51,16 +51,42 @@ class BatchReport:
             return 0.0
         return self.cache_hits / len(self.results)
 
+    #: Floor for the wall clock in rate computations: a fully-cached
+    #: batch can finish inside the clock's resolution, and dividing by
+    #: a (near-)zero wall time would report infinite/garbage rates.
+    MIN_WALL_SECONDS = 1e-9
+
     @property
     def throughput(self) -> float:
-        """Programs per second (0.0 on a zero-length wall clock)."""
-        if self.wall_seconds <= 0:
+        """Programs per second (finite even on a zero-length wall clock).
+
+        A fully-cached batch can complete faster than the timer's
+        resolution; the wall clock is clamped to
+        :data:`MIN_WALL_SECONDS` so the rate stays a finite, positive
+        number instead of 0.0 (the old nonsense value: "we served N
+        programs at 0/s") or a ``ZeroDivisionError``.
+        """
+        if not self.results:
             return 0.0
-        return len(self.results) / self.wall_seconds
+        return len(self.results) / max(self.wall_seconds, self.MIN_WALL_SECONDS)
 
     def latencies(self) -> list[float]:
-        """Per-program solve latencies, sorted ascending."""
-        return sorted(result.solve_seconds for result in self.results)
+        """Per-program solve latencies (non-negative), sorted ascending."""
+        return sorted(max(result.solve_seconds, 0.0) for result in self.results)
+
+    def latency_percentile(self, fraction: float) -> float:
+        """The given latency percentile (0.0 on an empty batch).
+
+        Raises:
+            ValueError: when ``fraction`` is outside [0, 1].
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("percentile fraction must be within [0, 1]")
+        latencies = self.latencies()
+        if not latencies:
+            return 0.0
+        index = min(int(fraction * len(latencies)), len(latencies) - 1)
+        return latencies[index]
 
     def scheme_wins(self) -> dict[str, int]:
         """winner scheme -> number of programs it won."""
@@ -82,7 +108,7 @@ class BatchReport:
         latencies = self.latencies()
         if latencies:
             mean = sum(latencies) / len(latencies)
-            p50 = latencies[len(latencies) // 2]
+            p50 = self.latency_percentile(0.5)
             lines.append(
                 f"  latency: mean {mean * 1000:.1f}ms  p50 {p50 * 1000:.1f}ms  "
                 f"max {latencies[-1] * 1000:.1f}ms"
@@ -102,6 +128,24 @@ class BatchReport:
         return "\n".join(lines)
 
 
+#: Per-process solver reuse: a pool worker serves many map items, so
+#: rebuilding the portfolio plumbing per program is pure waste.
+_WORKER_SOLVERS: dict[tuple, PortfolioSolver] = {}
+
+
+def _worker_solver(
+    config: PortfolioConfig, options: BuildOptions
+) -> PortfolioSolver:
+    key = (repr(config), repr(options))
+    solver = _WORKER_SOLVERS.get(key)
+    if solver is None:
+        if len(_WORKER_SOLVERS) >= 8:  # different batches, same process
+            _WORKER_SOLVERS.clear()
+        solver = PortfolioSolver(config, options=options)
+        _WORKER_SOLVERS[key] = solver
+    return solver
+
+
 def _solve_one(
     program: Program,
     config: PortfolioConfig,
@@ -109,7 +153,7 @@ def _solve_one(
     fingerprint: str,
 ) -> dict:
     """Pool worker: race one program, return the serialized result."""
-    solver = PortfolioSolver(config, options=options)
+    solver = _worker_solver(config, options)
     return solver.optimize(program, fingerprint=fingerprint).to_dict()
 
 
@@ -119,6 +163,7 @@ def run_batch(
     options: BuildOptions | None = None,
     cache: ResultCache | None = None,
     workers: int = 1,
+    client=None,
 ) -> BatchReport:
     """Serve a batch of programs and aggregate the outcome.
 
@@ -135,10 +180,19 @@ def run_batch(
         workers: program-level process pool size; 1 serves the batch
             in-process (each program still races its schemes in
             parallel when the config says so).
+        client: optional :class:`repro.service.stream.DaemonClient`;
+            when given, the whole batch is pipelined through the
+            resident daemon instead of being solved here, and
+            ``config``/``options``/``cache``/``workers`` are the
+            *daemon's* concern (the local values are ignored).  Batch
+            mode then is a thin client of the same serving loop.
 
     Raises:
         ValueError: for a non-positive worker count.
+        RuntimeError: when the daemon answers a request with an error.
     """
+    if client is not None:
+        return _run_batch_via_daemon(programs, client)
     if workers < 1:
         raise ValueError("workers must be positive")
     config = config if config is not None else PortfolioConfig()
@@ -204,4 +258,27 @@ def run_batch(
         results=results,
         wall_seconds=time.perf_counter() - start,
         workers=workers,
+    )
+
+
+def _run_batch_via_daemon(programs: Sequence[Program], client) -> BatchReport:
+    """Pipeline the batch through a resident daemon (thin-client mode)."""
+    start = time.perf_counter()
+    responses = client.solve_many(programs)
+    results: list[PortfolioResult] = []
+    for program, response in zip(programs, responses):
+        if not response.get("ok"):
+            raise RuntimeError(
+                f"daemon error for {program.name}: "
+                f"{response.get('error', 'unknown error')}"
+            )
+        result = PortfolioResult.from_dict(
+            response["result"], from_cache=bool(response.get("from_cache"))
+        )
+        result.program = program.name
+        results.append(result)
+    return BatchReport(
+        results=results,
+        wall_seconds=time.perf_counter() - start,
+        workers=0,  # the daemon's pool did the work, not a local one
     )

@@ -1,6 +1,6 @@
 """Command-line front end of the layout solver service.
 
-Usage::
+Batch mode::
 
     python -m repro.service --programs all --portfolio enhanced,cbj,weighted --workers 4
 
@@ -9,6 +9,16 @@ optional synthetic load from the random generator), serves each through
 the racing portfolio with a shared on-disk result cache, and prints the
 per-program outcomes followed by the batch throughput report.  Run the
 same command twice: the second run is served from the cache.
+
+Daemon mode::
+
+    python -m repro.service --serve --socket /tmp/repro.sock --shards 4
+
+runs the resident solver daemon (persistent worker pool, sharded
+persistent cache, JSON-lines streaming protocol -- see
+:mod:`repro.service.daemon`); without ``--socket`` it serves stdin to
+stdout.  Any batch invocation becomes a thin client of a running
+daemon with ``--connect /tmp/repro.sock``.
 """
 
 from __future__ import annotations
@@ -31,6 +41,9 @@ from repro.service.portfolio import DEFAULT_SCHEMES, PortfolioConfig, known_sche
 
 #: Default on-disk cache location (current directory: per-project).
 DEFAULT_CACHE_PATH = ".repro-service-cache.json"
+
+#: Default shard directory of the daemon's persistent cache.
+DEFAULT_CACHE_DIR = ".repro-service-cache.d"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,6 +128,55 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the per-scheme outcome table for every program",
     )
+    daemon = parser.add_argument_group(
+        "daemon mode",
+        "run as a resident streaming service (JSON-lines protocol, "
+        "persistent worker pool, sharded result cache) or talk to one",
+    )
+    daemon.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the resident daemon instead of a one-shot batch",
+    )
+    daemon.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="unix socket to listen on with --serve (default: stdin/stdout)",
+    )
+    daemon.add_argument(
+        "--connect",
+        default=None,
+        metavar="PATH",
+        help="send this batch to a daemon at PATH instead of solving here",
+    )
+    daemon.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        metavar="N",
+        help="result-cache shard count for --serve (default 4)",
+    )
+    daemon.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        metavar="N",
+        help="bound on concurrently served daemon requests (default 32)",
+    )
+    daemon.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"daemon shard directory (default {DEFAULT_CACHE_DIR})",
+    )
+    daemon.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="drop cached results older than this (default: keep forever)",
+    )
     evaluation = parser.add_argument_group(
         "evaluation requests",
         "price programs under a cost model instead of (only) optimizing "
@@ -189,22 +251,42 @@ def main(argv: Sequence[str] | None = None) -> int:
         raise SystemExit("--workers must be positive")
     if args.random < 0:
         raise SystemExit("--random must be non-negative")
+    if args.serve and args.connect:
+        raise SystemExit("--serve and --connect are mutually exclusive")
+
+    if args.serve:
+        return _run_daemon(args, config)
+
+    client = None
+    if args.connect is not None:
+        from repro.service.stream import DaemonClient
+
+        try:
+            client = DaemonClient(args.connect)
+        except OSError as exc:
+            raise SystemExit(f"cannot connect to daemon at {args.connect}: {exc}")
+
     programs = _resolve_programs(args)
 
     cache = None
-    if not args.no_cache:
+    if client is None and not args.no_cache:
         cache = ResultCache(capacity=4096, path=args.cache)
         if args.clear_cache:
             cache.clear()
 
     if args.evaluate:
-        return _run_evaluation(args, config, programs, cache)
+        return _run_evaluation(args, config, programs, cache, client)
 
+    source = (
+        f"daemon {args.connect}"
+        if client is not None
+        else ("off" if cache is None else args.cache)
+    )
     print(
         f"repro layout service v{__version__} -- "
         f"portfolio [{', '.join(config.schemes)}], "
         f"workers={args.workers}, deadline={args.deadline:.0f}s, "
-        f"cache={'off' if cache is None else args.cache}"
+        f"cache={source}"
     )
     report = run_batch(
         programs,
@@ -212,6 +294,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         options=benchmark_build_options(),
         cache=cache,
         workers=args.workers,
+        client=client,
     )
     for result in report.results:
         source = "cache" if result.from_cache else f"winner={result.winner}"
@@ -236,11 +319,48 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"stores={stats.stores} evictions={stats.evictions} "
             f"entries={len(cache)}"
         )
+    if client is not None:
+        client.close()
     failures = sum(1 for result in report.results if result.winner is None)
     return 1 if failures else 0
 
 
-def _run_evaluation(args, config, programs, cache) -> int:
+def _run_daemon(args, config) -> int:
+    """The ``--serve`` path: run the resident daemon until shutdown."""
+    from repro.service.daemon import DaemonConfig, serve
+
+    try:
+        daemon_config = DaemonConfig(
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            shards=args.shards,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            ttl_seconds=args.ttl,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    where = args.socket if args.socket else "stdin/stdout"
+    print(
+        f"repro layout daemon v{__version__} -- "
+        f"portfolio [{', '.join(config.schemes)}], workers={args.workers}, "
+        f"shards={args.shards}, max_inflight={args.max_inflight}, "
+        f"cache={'memory-only' if args.no_cache else args.cache_dir}, "
+        f"listening on {where}",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        return serve(
+            config=config,
+            options=benchmark_build_options(),
+            daemon_config=daemon_config,
+            socket_path=args.socket,
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
+def _run_evaluation(args, config, programs, cache, client=None) -> int:
     """Serve the batch as 'evaluate' requests and print the price list."""
     from repro.eval import available_cost_models
     from repro.service.evaluate import (
@@ -276,7 +396,7 @@ def _run_evaluation(args, config, programs, cache) -> int:
         f"[{args.cost_model}] portfolio [{', '.join(config.schemes)}], "
         f"hierarchy={'paper' if hierarchy is None else args.hierarchy}, "
         f"workers={args.workers}, "
-        f"cache={'off' if cache is None else args.cache}"
+        f"cache={_cache_label(args, cache, client)}"
     )
     results = run_evaluation_batch(
         requests,
@@ -284,6 +404,7 @@ def _run_evaluation(args, config, programs, cache) -> int:
         options=benchmark_build_options(),
         cache=cache,
         workers=args.workers,
+        client=client,
     )
     for result in results:
         source = "cache" if result.from_cache else (
@@ -303,4 +424,12 @@ def _run_evaluation(args, config, programs, cache) -> int:
             print(f"      hit rates: {rates}")
     if cache is not None:
         cache.save()
+    if client is not None:
+        client.close()
     return 0
+
+
+def _cache_label(args, cache, client) -> str:
+    if client is not None:
+        return f"daemon {args.connect}"
+    return "off" if cache is None else args.cache

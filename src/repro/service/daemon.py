@@ -1,0 +1,694 @@
+"""The resident solver daemon: an async streaming front end.
+
+``python -m repro.service`` used to be a one-shot batch CLI: every
+invocation paid process-pool spin-up, re-read the JSON cache from
+disk, and exited.  The daemon keeps all of that resident:
+
+* a **persistent** :class:`~concurrent.futures.ProcessPoolExecutor`
+  whose workers hold warm state -- a reusable
+  :class:`~repro.service.portfolio.PortfolioSolver` and
+  :class:`~repro.service.evaluate.EvaluationService` instance plus a
+  bounded ``fingerprint -> LayoutNetwork`` memo -- so repeat requests
+  never rebuild or recompile a constraint network;
+* a **sharded** :class:`~repro.service.cache.ShardedResultCache`
+  consulted in the parent, so warm requests answer without touching a
+  worker at all;
+* an **asyncio** serving loop reading JSON-lines requests (see
+  :mod:`repro.service.stream`) from a unix socket or stdin, answering
+  out of order as work completes;
+* **backpressure** via a bounded in-flight semaphore: when
+  ``max_inflight`` requests are being served, the daemon stops
+  *reading* from the connection, the socket buffer fills, and the
+  client's writes block -- flow control falls out of TCP/pipe
+  semantics instead of an unbounded queue;
+* **in-flight deduplication**: concurrent identical misses (same
+  fingerprint and config token) share one worker dispatch.
+
+The batch front end stays available -- ``run_batch(..., client=...)``
+turns it into a thin client of a running daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import multiprocessing
+import os
+import sys
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro import __version__
+from repro.ir.program import Program
+from repro.opt.network_builder import BuildOptions
+from repro.service import stream
+from repro.service.cache import ShardedResultCache
+from repro.service.evaluate import (
+    EvaluationRequest,
+    EvaluationService,
+    hierarchy_from_overrides,
+)
+from repro.service.fingerprint import request_fingerprint
+from repro.service.portfolio import PortfolioConfig, PortfolioSolver
+from repro.service.stream import ProtocolError
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Resident-service knobs (the portfolio itself lives in
+    :class:`~repro.service.portfolio.PortfolioConfig`).
+
+    Attributes:
+        workers: size of the persistent solve/evaluate process pool.
+        max_inflight: bound on concurrently served requests; beyond it
+            the daemon stops reading and lets the transport push back.
+        shards: result-cache shard count.
+        cache_dir: shard persistence directory (None = memory only).
+        cache_capacity: LRU bound per shard.
+        ttl_seconds: optional per-entry time-to-live.
+        network_memo: per-worker bound on memoized built networks.
+        save_every: persist dirty shards after this many fresh stores
+            (and always on shutdown).
+    """
+
+    workers: int = 2
+    max_inflight: int = 32
+    shards: int = 4
+    cache_dir: str | None = None
+    cache_capacity: int = 1024
+    ttl_seconds: float | None = None
+    network_memo: int = 64
+    save_every: int = 64
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        if self.shards < 1:
+            raise ValueError("shards must be positive")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be positive")
+        if self.ttl_seconds is not None and self.ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        if self.network_memo < 1:
+            raise ValueError("network_memo must be positive")
+        if self.save_every < 1:
+            raise ValueError("save_every must be positive")
+
+
+# -- warm worker processes ----------------------------------------------
+
+#: Per-process state of one pool worker, built once by the initializer
+#: and reused for every request the worker ever serves.
+_WORKER_STATE: dict | None = None
+
+
+class _BoundedMemo(OrderedDict):
+    """A tiny LRU mapping: the per-worker built-network memo."""
+
+    def __init__(self, capacity: int):
+        super().__init__()
+        self._capacity = capacity
+
+    def get(self, key, default=None):
+        value = super().get(key, default)
+        if key in self:
+            self.move_to_end(key)
+        return value
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        while len(self) > self._capacity:
+            self.popitem(last=False)
+
+
+def _init_worker(
+    config: PortfolioConfig, options: BuildOptions, memo_capacity: int
+) -> None:
+    """Pool initializer: build the reusable per-process serving state."""
+    global _WORKER_STATE
+    network_memo = _BoundedMemo(memo_capacity)
+    _WORKER_STATE = {
+        "solver": PortfolioSolver(
+            config, options=options, network_cache=network_memo
+        ),
+        "evaluator": EvaluationService(
+            config=config, options=options, network_cache=network_memo
+        ),
+        "networks": network_memo,
+    }
+
+
+def _worker_solve(program: Program, fingerprint: str) -> dict:
+    """Serve one solve miss on a warm worker."""
+    result = _WORKER_STATE["solver"].optimize(program, fingerprint=fingerprint)
+    return {"result": result.to_dict(), "exact": result.exact}
+
+
+def _worker_evaluate(request: EvaluationRequest) -> dict:
+    """Serve one evaluate miss on a warm worker."""
+    result = _WORKER_STATE["evaluator"].evaluate(request)
+    return {"result": result.to_dict(), "exact": result.exact}
+
+
+def _pool_context():
+    """``fork`` keeps worker start cheap and warm (inherited imports);
+    platforms without it use the default context."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+# -- the daemon ----------------------------------------------------------
+
+
+class SolverDaemon:
+    """A resident, async, streaming layout-solver service.
+
+    Args:
+        config: portfolio raced for solve misses (and evaluate
+            requests without explicit layouts).
+        options: network-construction options shared by all requests.
+        daemon_config: resident-service knobs (pool size, shards,
+            backpressure bound, TTL, persistence directory).
+        cache: pre-built result cache to serve from; by default one is
+            constructed from ``daemon_config`` (sharded, persistent
+            when ``cache_dir`` is set).  Passing a cache explicitly is
+            how benchmarks warm a daemon from a cold batch run.
+    """
+
+    def __init__(
+        self,
+        config: PortfolioConfig | None = None,
+        options: BuildOptions | None = None,
+        daemon_config: DaemonConfig | None = None,
+        cache=None,
+    ):
+        self._config = config if config is not None else PortfolioConfig()
+        self._options = options if options is not None else BuildOptions()
+        self._daemon_config = (
+            daemon_config if daemon_config is not None else DaemonConfig()
+        )
+        if cache is not None:
+            self.cache = cache
+        else:
+            self.cache = ShardedResultCache(
+                shards=self._daemon_config.shards,
+                capacity=self._daemon_config.cache_capacity,
+                directory=self._daemon_config.cache_dir,
+                ttl_seconds=self._daemon_config.ttl_seconds,
+            )
+        self._pool: ProcessPoolExecutor | None = None
+        self._inflight: asyncio.Semaphore | None = None
+        self._pending: dict[str, asyncio.Future] = {}
+        self._shutdown = asyncio.Event()
+        self._started_at = time.time()
+        self._unsaved_stores = 0
+        self.counters = {
+            "requests": 0,
+            "solve": 0,
+            "evaluate": 0,
+            "cache_served": 0,
+            "deduplicated": 0,
+            "errors": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._daemon_config.workers,
+                mp_context=_pool_context(),
+                initializer=_init_worker,
+                initargs=(
+                    self._config,
+                    self._options,
+                    self._daemon_config.network_memo,
+                ),
+            )
+        return self._pool
+
+    def _semaphore(self) -> asyncio.Semaphore:
+        if self._inflight is None:
+            self._inflight = asyncio.Semaphore(self._daemon_config.max_inflight)
+        return self._inflight
+
+    def warm_up(self) -> None:
+        """Spin the pool up eagerly (first request pays nothing)."""
+        pool = self._ensure_pool()
+        # A no-op round through every worker forces initializer runs.
+        for _ in pool.map(_noop, range(self._daemon_config.workers)):
+            pass
+
+    def close(self) -> None:
+        """Persist the cache and release the worker pool."""
+        self.cache.save()
+        self._unsaved_stores = 0
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- request handling ------------------------------------------------
+
+    async def handle_line(self, line: str | bytes) -> dict:
+        """Serve one raw request line; always returns a response dict."""
+        try:
+            payload = stream.decode_request(line)
+        except ProtocolError as exc:
+            self.counters["errors"] += 1
+            request_id = _best_effort_id(line)
+            return stream.error_response(request_id, str(exc))
+        return await self.handle_request(payload)
+
+    async def handle_request(self, payload: dict) -> dict:
+        """Serve one decoded request under the in-flight bound."""
+        if payload.get("kind") in ("solve", "evaluate"):
+            async with self._semaphore():
+                return await self._serve_decoded(payload)
+        return await self._serve_decoded(payload)
+
+    async def _serve_decoded(self, payload: dict) -> dict:
+        """Serve one decoded request; the caller owns any permit."""
+        self.counters["requests"] += 1
+        request_id = payload.get("id")
+        kind = payload["kind"]
+        try:
+            if kind == "ping":
+                return self._hello(request_id)
+            if kind == "stats":
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "kind": "stats",
+                    "result": self.stats(),
+                }
+            if kind == "shutdown":
+                self._shutdown.set()
+                return {"id": request_id, "ok": True, "kind": "shutdown"}
+            if kind == "solve":
+                return await self._handle_solve(payload)
+            return await self._handle_evaluate(payload)
+        except ProtocolError as exc:
+            self.counters["errors"] += 1
+            return stream.error_response(request_id, str(exc))
+        except Exception as exc:  # worker/validation failures stay on-wire
+            self.counters["errors"] += 1
+            logger.exception("request %r failed", request_id)
+            return stream.error_response(request_id, repr(exc))
+
+    def _hello(self, request_id) -> dict:
+        return {
+            "id": request_id,
+            "ok": True,
+            "kind": "ping",
+            "result": {
+                "version": __version__,
+                "schemes": list(self._config.schemes),
+                "workers": self._daemon_config.workers,
+                "max_inflight": self._daemon_config.max_inflight,
+                "shards": self.cache.shard_count
+                if hasattr(self.cache, "shard_count")
+                else 1,
+            },
+        }
+
+    def stats(self) -> dict:
+        """Serving counters plus the per-shard cache statistics."""
+        snapshot = {
+            "uptime_seconds": time.time() - self._started_at,
+            "counters": dict(self.counters),
+            "cache": {
+                "entries": len(self.cache),
+                **self.cache.stats.as_dict(),
+            },
+        }
+        if hasattr(self.cache, "shard_stats"):
+            snapshot["cache"]["shards"] = self.cache.shard_stats()
+        return snapshot
+
+    async def _handle_solve(self, payload: dict) -> dict:
+        start = time.perf_counter()
+        self.counters["solve"] += 1
+        program = stream.program_from_wire(payload["program"])
+        fingerprint = request_fingerprint(program, self._options)
+        token = self._config.token()
+        cached = self.cache.get(fingerprint, token)
+        if cached is not None:
+            self.counters["cache_served"] += 1
+            result = dict(cached)
+            result["program"] = program.name  # entry may be a renamed twin
+            return {
+                "id": payload.get("id"),
+                "ok": True,
+                "kind": "solve",
+                "from_cache": True,
+                "seconds": time.perf_counter() - start,
+                "result": result,
+            }
+        data = await self._dispatch(
+            fingerprint, token, _worker_solve, program, fingerprint
+        )
+        result = dict(data["result"])
+        result["program"] = program.name
+        return {
+            "id": payload.get("id"),
+            "ok": True,
+            "kind": "solve",
+            "from_cache": False,
+            "seconds": time.perf_counter() - start,
+            "result": result,
+        }
+
+    async def _handle_evaluate(self, payload: dict) -> dict:
+        start = time.perf_counter()
+        self.counters["evaluate"] += 1
+        program = stream.program_from_wire(payload["program"])
+        request = _evaluation_request(program, payload)
+        fingerprint = request_fingerprint(program, self._options)
+        token = request.token(self._config.token())
+        cached = self.cache.get(fingerprint, token)
+        if cached is not None:
+            self.counters["cache_served"] += 1
+            result = dict(cached)
+            result["program"] = program.name
+            return {
+                "id": payload.get("id"),
+                "ok": True,
+                "kind": "evaluate",
+                "from_cache": True,
+                "seconds": time.perf_counter() - start,
+                "result": result,
+            }
+        data = await self._dispatch(fingerprint, token, _worker_evaluate, request)
+        result = dict(data["result"])
+        result["program"] = program.name
+        return {
+            "id": payload.get("id"),
+            "ok": True,
+            "kind": "evaluate",
+            "from_cache": False,
+            "seconds": time.perf_counter() - start,
+            "result": result,
+        }
+
+    async def _dispatch(
+        self, fingerprint: str, token: str, worker_fn, *args
+    ) -> dict:
+        """Run a miss on the warm pool, deduplicating concurrent twins.
+
+        Only the dedup *owner* (the task that actually dispatched to
+        the pool) stores the result -- twins share the answer without
+        re-storing it, so store counters and the periodic shard
+        persistence see each fresh result exactly once.
+        """
+        key = f"{fingerprint}|{token}"
+        existing = self._pending.get(key)
+        if existing is not None:
+            self.counters["deduplicated"] += 1
+            return await asyncio.shield(existing)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending[key] = future
+        try:
+            data = await loop.run_in_executor(
+                self._ensure_pool(), worker_fn, *args
+            )
+            if data["exact"]:
+                self._store(fingerprint, token, data["result"])
+            future.set_result(data)
+            return data
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # A twin may or may not be waiting; don't warn if not.
+                future.exception()
+            raise
+        finally:
+            self._pending.pop(key, None)
+
+    def _store(self, fingerprint: str, token: str, value: dict) -> None:
+        """Cache a fresh exact result; persist shards periodically."""
+        self.cache.put(fingerprint, token, value)
+        self._unsaved_stores += 1
+        if self._unsaved_stores >= self._daemon_config.save_every:
+            self.cache.save()
+            self._unsaved_stores = 0
+
+    # -- serving loops ---------------------------------------------------
+
+    async def _next_line(self, read_line) -> bytes:
+        """One line, or b"" on EOF *or* shutdown (whichever first).
+
+        Racing the read against the shutdown event means a ``shutdown``
+        request served on any connection unblocks every other reader
+        -- including a stdio daemon whose client keeps stdin open.
+        """
+        read_task = asyncio.ensure_future(read_line())
+        shutdown_task = asyncio.ensure_future(self._shutdown.wait())
+        try:
+            await asyncio.wait(
+                {read_task, shutdown_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            shutdown_task.cancel()
+        if read_task.done():
+            return read_task.result()
+        read_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await read_task
+        return b""
+
+    async def _acquire_or_shutdown(self) -> bool:
+        """Wait for a serving permit; False when shutdown wins the wait."""
+        acquire_task = asyncio.ensure_future(self._semaphore().acquire())
+        shutdown_task = asyncio.ensure_future(self._shutdown.wait())
+        try:
+            await asyncio.wait(
+                {acquire_task, shutdown_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            shutdown_task.cancel()
+        if not acquire_task.done():
+            acquire_task.cancel()
+            return False
+        if self._shutdown.is_set():
+            self._semaphore().release()
+            return False
+        return True
+
+    async def _serve_stream(self, read_line, write_line) -> None:
+        """Core loop: read lines, serve each as its own task, stream
+        responses back in completion order.
+
+        Backpressure is event-driven: a solve/evaluate line is only
+        *read into a task* once an in-flight permit is held, so a full
+        daemon stops reading and the transport pushes back on the
+        client.  Control kinds (ping/stats/shutdown) bypass the bound:
+        a saturated daemon stays inspectable and stoppable.
+        """
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def respond(response: dict) -> None:
+            async with write_lock:
+                await write_line(stream.encode_response(response))
+
+        async def serve_decoded(payload: dict, permit: bool) -> None:
+            try:
+                response = await self._serve_decoded(payload)
+            finally:
+                if permit:
+                    self._semaphore().release()
+            await respond(response)
+
+        def spawn(coroutine) -> None:
+            task = asyncio.create_task(coroutine)
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+
+        while not self._shutdown.is_set():
+            line = await self._next_line(read_line)
+            if not line:  # EOF or shutdown
+                break
+            if not line.strip():
+                continue
+            try:
+                payload = stream.decode_request(line)
+            except ProtocolError as exc:
+                self.counters["requests"] += 1
+                self.counters["errors"] += 1
+                spawn(respond(stream.error_response(_best_effort_id(line), str(exc))))
+                continue
+            if payload["kind"] in ("solve", "evaluate"):
+                if not await self._acquire_or_shutdown():
+                    break
+                spawn(serve_decoded(payload, permit=True))
+            else:
+                spawn(serve_decoded(payload, permit=False))
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one socket connection until EOF or shutdown."""
+
+        async def write_line(data: bytes) -> None:
+            writer.write(data)
+            await writer.drain()
+
+        try:
+            await self._serve_stream(reader.readline, write_line)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def serve_unix(self, socket_path: str) -> None:
+        """Listen on a unix socket until a ``shutdown`` request.
+
+        The socket file is removed on exit; stale files from a crashed
+        predecessor are removed on entry.
+        """
+        with contextlib.suppress(OSError):
+            os.unlink(socket_path)
+        self.warm_up()
+        server = await asyncio.start_unix_server(
+            self.serve_connection, path=socket_path
+        )
+        logger.info("daemon listening on %s", socket_path)
+        try:
+            async with server:
+                await self._shutdown.wait()
+                # Give connection tasks a beat to flush their final
+                # (shutdown-acknowledging) response lines.
+                await asyncio.sleep(0.05)
+        finally:
+            with contextlib.suppress(OSError):
+                os.unlink(socket_path)
+            self.close()
+
+    async def serve_stdio(self) -> None:
+        """Serve JSON lines from stdin to stdout (one-shot pipelines:
+        ``printf '...requests...' | python -m repro.service --serve``).
+
+        Reads via a daemon pump thread feeding a *bounded* asyncio
+        queue, so stdin may be a pipe, a redirected regular file, or a
+        tty; the queue bound keeps stdin backpressure real, awaiting
+        the queue stays cancellable (a ``shutdown`` request exits even
+        while the client holds stdin open), and the pump thread dies
+        with the process instead of pinning interpreter exit.
+        """
+        loop = asyncio.get_running_loop()
+        self.warm_up()
+        queue: asyncio.Queue = asyncio.Queue(
+            maxsize=self._daemon_config.max_inflight
+        )
+
+        def pump() -> None:
+            try:
+                for line in iter(sys.stdin.buffer.readline, b""):
+                    asyncio.run_coroutine_threadsafe(queue.put(line), loop).result()
+            except (RuntimeError, OSError):  # loop closed mid-shutdown
+                return
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(queue.put_nowait, b"")
+
+        threading.Thread(
+            target=pump, daemon=True, name="repro-stdin-pump"
+        ).start()
+
+        async def write_line(data: bytes) -> None:
+            sys.stdout.buffer.write(data)
+            sys.stdout.buffer.flush()
+
+        try:
+            await self._serve_stream(queue.get, write_line)
+        finally:
+            self.close()
+
+
+def _noop(_: int) -> None:
+    """Pool warm-up probe (must be a picklable top-level function)."""
+    return None
+
+
+def _best_effort_id(line: str | bytes):
+    """Recover a request id from an invalid line, when possible."""
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if isinstance(payload, dict):
+        return payload.get("id")
+    return None
+
+
+def _evaluation_request(program: Program, payload: dict) -> EvaluationRequest:
+    """Decode the evaluate-specific request fields.
+
+    Raises:
+        ProtocolError: for malformed fields (so the daemon answers
+            with an error line instead of a stack trace).
+    """
+    hierarchy = None
+    if payload.get("hierarchy") is not None:
+        overrides = payload["hierarchy"]
+        if not isinstance(overrides, dict):
+            raise ProtocolError("'hierarchy' must be a field-override object")
+        try:
+            hierarchy = hierarchy_from_overrides(overrides)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+    layouts = None
+    if payload.get("layouts") is not None:
+        if not isinstance(payload["layouts"], dict):
+            raise ProtocolError("'layouts' must be an object")
+        layouts = stream.layouts_from_wire(payload["layouts"])
+    sim_cap = payload.get("sim_cap")
+    if sim_cap is not None and (isinstance(sim_cap, bool) or not isinstance(sim_cap, int)):
+        raise ProtocolError("'sim_cap' must be an integer")
+    cost_model = payload.get("cost_model", "simulated")
+    if not isinstance(cost_model, str):
+        raise ProtocolError("'cost_model' must be a string")
+    try:
+        return EvaluationRequest(
+            program=program,
+            cost_model=cost_model,
+            hierarchy=hierarchy,
+            layouts=layouts,
+            max_iterations_per_nest=sim_cap,
+        )
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+def serve(
+    config: PortfolioConfig | None = None,
+    options: BuildOptions | None = None,
+    daemon_config: DaemonConfig | None = None,
+    socket_path: str | None = None,
+) -> int:
+    """Blocking entry point used by the CLI's ``--serve``."""
+    daemon = SolverDaemon(
+        config=config, options=options, daemon_config=daemon_config
+    )
+    if socket_path is not None:
+        asyncio.run(daemon.serve_unix(socket_path))
+    else:
+        asyncio.run(daemon.serve_stdio())
+    return 0

@@ -34,6 +34,32 @@ from repro.service.fingerprint import (
 from repro.service.portfolio import PortfolioConfig, PortfolioSolver
 
 
+def hierarchy_from_overrides(overrides: Mapping[str, int]) -> HierarchyConfig:
+    """A :class:`HierarchyConfig` with the named fields replaced.
+
+    This is the wire form the daemon protocol ships (``"hierarchy":
+    {"l1_size": 16384, ...}``); unknown fields and non-integer values
+    raise rather than being silently dropped.
+
+    Raises:
+        ValueError: for unknown fields, bad integers, or geometry the
+            config itself rejects.
+    """
+    known = {f.name for f in dataclass_fields(HierarchyConfig)}
+    cleaned: dict[str, int] = {}
+    for name, value in overrides.items():
+        if name not in known:
+            raise ValueError(
+                f"unknown hierarchy field {name!r}; know {sorted(known)}"
+            )
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(
+                f"hierarchy field {name} needs an integer, got {value!r}"
+            )
+        cleaned[name] = value
+    return replace(HierarchyConfig(), **cleaned)
+
+
 def parse_hierarchy_overrides(spec: str) -> HierarchyConfig:
     """Parse CLI-style per-request hierarchy overrides.
 
@@ -61,7 +87,7 @@ def parse_hierarchy_overrides(spec: str) -> HierarchyConfig:
             overrides[name] = int(raw.strip())
         except ValueError:
             raise ValueError(f"hierarchy field {name} needs an integer, got {raw!r}")
-    return replace(HierarchyConfig(), **overrides)
+    return hierarchy_from_overrides(overrides)
 
 
 @dataclass(frozen=True)
@@ -228,6 +254,11 @@ class EvaluationService:
         cache: optional shared result cache (evaluation entries use
             their own token namespace, so one cache serves both
             request kinds).
+        network_cache: optional shared ``fingerprint -> LayoutNetwork``
+            mapping handed to the embedded portfolio solver (see
+            :class:`~repro.service.portfolio.PortfolioSolver`); a
+            resident worker process reuses built networks across
+            evaluate sweeps this way.
     """
 
     def __init__(
@@ -235,12 +266,14 @@ class EvaluationService:
         config: PortfolioConfig | None = None,
         options: BuildOptions | None = None,
         cache: ResultCache | None = None,
+        network_cache=None,
     ):
         self._config = config if config is not None else PortfolioConfig()
         self._options = options if options is not None else BuildOptions()
         self._cache = cache
         self._solver = PortfolioSolver(
-            self._config, options=self._options, cache=cache
+            self._config, options=self._options, cache=cache,
+            network_cache=network_cache,
         )
 
     def evaluate(self, request: EvaluationRequest) -> EvaluationResult:
@@ -300,13 +333,24 @@ class EvaluationService:
         return result
 
 
+#: Per-process service reuse: a pool worker serves many map items, so
+#: rebuilding the evaluation/portfolio plumbing per request is waste.
+_WORKER_SERVICES: dict[tuple, "EvaluationService"] = {}
+
+
 def _evaluate_one(
     request: EvaluationRequest,
     config: PortfolioConfig,
     options: BuildOptions,
 ) -> dict:
     """Pool worker: serve one request, return the serialized result."""
-    service = EvaluationService(config=config, options=options)
+    key = (repr(config), repr(options))
+    service = _WORKER_SERVICES.get(key)
+    if service is None:
+        if len(_WORKER_SERVICES) >= 8:  # different batches, same process
+            _WORKER_SERVICES.clear()
+        service = EvaluationService(config=config, options=options)
+        _WORKER_SERVICES[key] = service
     return service.evaluate(request).to_dict()
 
 
@@ -316,16 +360,22 @@ def run_evaluation_batch(
     options: BuildOptions | None = None,
     cache: ResultCache | None = None,
     workers: int = 1,
+    client=None,
 ) -> list[EvaluationResult]:
     """Serve a list of evaluation requests, preserving input order.
 
     Mirrors :func:`repro.service.batch.run_batch`: cache lookups and
     stores happen in the parent (pool workers are stateless), and
-    ``workers > 1`` fans cache misses across a process pool.
+    ``workers > 1`` fans cache misses across a process pool.  With
+    ``client`` the batch is instead pipelined through a resident
+    daemon (every other argument is then the daemon's concern).
 
     Raises:
         ValueError: for a non-positive worker count.
+        RuntimeError: when the daemon answers a request with an error.
     """
+    if client is not None:
+        return _run_evaluation_batch_via_daemon(requests, client)
     if workers < 1:
         raise ValueError("workers must be positive")
     config = config if config is not None else PortfolioConfig()
@@ -376,3 +426,45 @@ def run_evaluation_batch(
                     cache.put(fingerprint, token, result.to_dict())
 
     return [result for result in slots if result is not None]
+
+
+def request_to_wire(request: EvaluationRequest) -> dict:
+    """The daemon-protocol payload of one evaluation request."""
+    from repro.service.stream import evaluate_request
+
+    hierarchy = None
+    if request.hierarchy is not None:
+        hierarchy = {
+            f.name: getattr(request.hierarchy, f.name)
+            for f in dataclass_fields(HierarchyConfig)
+        }
+    return evaluate_request(
+        request.program,
+        cost_model=request.cost_model,
+        hierarchy=hierarchy,
+        layouts=request.layouts,
+        sim_cap=request.max_iterations_per_nest,
+    )
+
+
+def _run_evaluation_batch_via_daemon(
+    requests: Sequence[EvaluationRequest], client
+) -> list[EvaluationResult]:
+    """Pipeline evaluation requests through a resident daemon."""
+    responses = client.request_many(
+        [request_to_wire(request) for request in requests]
+    )
+    results: list[EvaluationResult] = []
+    for request, response in zip(requests, responses):
+        if not response.get("ok"):
+            raise RuntimeError(
+                f"daemon error for {request.program.name}: "
+                f"{response.get('error', 'unknown error')}"
+            )
+        result = EvaluationResult.from_dict(
+            response["result"], from_cache=bool(response.get("from_cache"))
+        )
+        result.program = request.program.name
+        result.seconds = float(response.get("seconds", result.seconds))
+        results.append(result)
+    return results

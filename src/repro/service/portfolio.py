@@ -100,9 +100,33 @@ class PortfolioConfig:
 
     @staticmethod
     def parse(spec: str, **overrides) -> "PortfolioConfig":
-        """Build from a comma-separated scheme list (CLI syntax)."""
+        """Build from a comma-separated scheme list (CLI syntax).
+
+        Raises:
+            ValueError: for duplicate scheme tokens (racing two copies
+                of one scheme would burn a process on an identical
+                search) and everything the constructor rejects.
+        """
         names = tuple(name.strip() for name in spec.split(",") if name.strip())
+        seen: set[str] = set()
+        duplicates = [name for name in names if name in seen or seen.add(name)]
+        if duplicates:
+            raise ValueError(
+                f"duplicate scheme tokens in {spec!r}: {sorted(set(duplicates))}"
+            )
         return PortfolioConfig(schemes=names, **overrides)
+
+    def scheme_seed(self, index: int) -> int:
+        """Distinct deterministic RNG seed for the scheme at ``index``.
+
+        Every racer gets its own stream: two randomized schemes racing
+        from one seed would take identical tie-breaking decisions (and
+        two copies of the *same* randomized scheme would walk in
+        lockstep, paying a process for zero diversity).  Index 0 keeps
+        the portfolio's base seed, so a single-scheme portfolio is
+        bit-compatible with running that scheme directly.
+        """
+        return self.seed + index
 
     def token(self) -> str:
         """Canonical cache token (racing nondeterminism excluded).
@@ -302,6 +326,12 @@ class PortfolioSolver:
             omitted must be supplied by the caller explicitly).
         cache: optional result cache consulted before and updated after
             every race.
+        network_cache: optional mutable mapping ``fingerprint ->
+            LayoutNetwork``.  A resident process (the daemon's warm
+            workers) hands every solver in the process one shared
+            bounded mapping, so repeat cache *misses* -- non-exact
+            retries, evaluate sweeps over many machine models -- skip
+            the network build and reuse the already-compiled kernel.
     """
 
     def __init__(
@@ -309,10 +339,12 @@ class PortfolioSolver:
         config: PortfolioConfig | None = None,
         options: BuildOptions | None = None,
         cache: ResultCache | None = None,
+        network_cache=None,
     ):
         self._config = config if config is not None else PortfolioConfig()
         self._options = options if options is not None else BuildOptions()
         self._cache = cache
+        self._network_cache = network_cache
 
     @property
     def config(self) -> PortfolioConfig:
@@ -340,7 +372,13 @@ class PortfolioSolver:
                 return result
 
         start = time.perf_counter()
-        layout_network = build_layout_network(program, self._options)
+        layout_network = None
+        if self._network_cache is not None:
+            layout_network = self._network_cache.get(fingerprint)
+        if layout_network is None:
+            layout_network = build_layout_network(program, self._options)
+            if self._network_cache is not None:
+                self._network_cache[fingerprint] = layout_network
         winner, exact, assignment, outcomes = self._race(
             layout_network.kernel(), layout_network.weights
         )
@@ -421,7 +459,9 @@ class PortfolioSolver:
                 )
                 break
             try:
-                payload = _solve_scheme(scheme, kernel, weights, self._config.seed)
+                payload = _solve_scheme(
+                    scheme, kernel, weights, self._config.scheme_seed(index)
+                )
             except Exception as exc:
                 outcomes.append(
                     SchemeOutcome(scheme=scheme, status="error", detail=repr(exc))
@@ -456,10 +496,16 @@ class PortfolioSolver:
         context = _context()
         result_queue = context.Queue()
         processes: dict[str, multiprocessing.Process] = {}
-        for scheme in self._config.schemes:
+        for index, scheme in enumerate(self._config.schemes):
             process = context.Process(
                 target=_race_worker,
-                args=(result_queue, scheme, kernel, weights, self._config.seed),
+                args=(
+                    result_queue,
+                    scheme,
+                    kernel,
+                    weights,
+                    self._config.scheme_seed(index),
+                ),
                 daemon=True,
             )
             processes[scheme] = process

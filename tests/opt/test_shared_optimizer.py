@@ -1,0 +1,58 @@
+"""The shared-optimizer memo: reuse across requests in one process."""
+
+from repro.ir.parser import parse_program
+from repro.opt import BuildOptions, shared_optimizer
+from repro.opt.optimizer import _SHARED_OPTIMIZERS, _SHARED_OPTIMIZERS_CAP
+
+
+FIGURE2 = """
+array Q1[520][260]
+array Q2[520][260]
+nest fig2 {
+    for i1 = 0 .. 259 {
+        for i2 = 0 .. 259 {
+            Q1[i1+i2][i2] = Q2[i1+i2][i1]
+        }
+    }
+}
+"""
+
+
+class TestSharedOptimizer:
+    def test_same_configuration_returns_same_instance(self):
+        first = shared_optimizer(scheme="enhanced", seed=3)
+        second = shared_optimizer(scheme="enhanced", seed=3)
+        assert first is second
+
+    def test_different_configurations_get_distinct_instances(self):
+        assert shared_optimizer(scheme="enhanced") is not shared_optimizer(
+            scheme="cbj"
+        )
+        assert shared_optimizer(scheme="enhanced", seed=1) is not shared_optimizer(
+            scheme="enhanced", seed=2
+        )
+        assert shared_optimizer(
+            scheme="enhanced", options=BuildOptions(include_reversals=True)
+        ) is not shared_optimizer(scheme="enhanced")
+
+    def test_shared_instance_serves_repeat_requests(self):
+        program = parse_program(FIGURE2)
+        optimizer = shared_optimizer(scheme="enhanced")
+        first = optimizer.optimize(program)
+        second = shared_optimizer(scheme="enhanced").optimize(program)
+        assert first.layouts == second.layouts
+        assert first.exact and second.exact
+
+    def test_configured_model_instances_bypass_the_memo(self):
+        """Non-string refine models are not memoizable by value."""
+        from repro.eval import AnalyticCostModel
+
+        model = AnalyticCostModel()
+        first = shared_optimizer(scheme="enhanced", refine=model)
+        second = shared_optimizer(scheme="enhanced", refine=model)
+        assert first is not second
+
+    def test_pool_is_bounded(self):
+        for seed in range(_SHARED_OPTIMIZERS_CAP + 8):
+            shared_optimizer(scheme="enhanced", seed=1000 + seed)
+        assert len(_SHARED_OPTIMIZERS) <= _SHARED_OPTIMIZERS_CAP

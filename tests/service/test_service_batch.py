@@ -1,0 +1,94 @@
+"""BatchReport arithmetic: the wall-clock-zero regression suite.
+
+A fully-cached batch can complete inside the timer's resolution;
+``throughput`` and the latency percentiles must stay finite, positive
+numbers instead of reporting 0 programs/s (or dividing by zero).
+"""
+
+import math
+
+import pytest
+
+from repro.ir.parser import parse_program
+from repro.service.batch import BatchReport, run_batch
+from repro.service.cache import ResultCache
+from repro.service.portfolio import PortfolioConfig, PortfolioResult
+
+FIGURE2 = """
+array Q1[520][260]
+array Q2[520][260]
+nest fig2 {
+    for i1 = 0 .. 259 {
+        for i2 = 0 .. 259 {
+            Q1[i1+i2][i2] = Q2[i1+i2][i1]
+        }
+    }
+}
+"""
+
+
+def _result(name: str = "p", seconds: float = 0.001) -> PortfolioResult:
+    return PortfolioResult(
+        program=name,
+        fingerprint="fp",
+        winner="enhanced",
+        layouts={},
+        exact=True,
+        solve_seconds=seconds,
+        outcomes=(),
+        from_cache=True,
+    )
+
+
+class TestZeroWallClock:
+    def test_throughput_is_finite_and_positive_on_zero_wall(self):
+        report = BatchReport(
+            results=[_result(f"p{i}") for i in range(4)],
+            wall_seconds=0.0,
+            workers=1,
+        )
+        assert math.isfinite(report.throughput)
+        assert report.throughput > 0.0
+
+    def test_throughput_zero_only_for_empty_batches(self):
+        empty = BatchReport(results=[], wall_seconds=0.0, workers=1)
+        assert empty.throughput == 0.0
+
+    def test_format_survives_zero_wall_clock(self):
+        report = BatchReport(
+            results=[_result()], wall_seconds=0.0, workers=1
+        )
+        text = report.format()
+        assert "programs/s" in text
+        assert "inf" not in text and "nan" not in text
+
+    def test_negative_solve_seconds_clamped_in_latencies(self):
+        """A clock hiccup must not produce negative percentiles."""
+        report = BatchReport(
+            results=[_result(seconds=-0.5), _result(seconds=0.25)],
+            wall_seconds=1.0,
+            workers=1,
+        )
+        assert report.latencies() == [0.0, 0.25]
+        assert report.latency_percentile(0.0) == 0.0
+        assert report.latency_percentile(1.0) == 0.25
+
+    def test_percentile_fraction_validated(self):
+        report = BatchReport(results=[_result()], wall_seconds=1.0, workers=1)
+        with pytest.raises(ValueError):
+            report.latency_percentile(1.5)
+
+    def test_percentile_of_empty_batch_is_zero(self):
+        report = BatchReport(results=[], wall_seconds=1.0, workers=1)
+        assert report.latency_percentile(0.5) == 0.0
+
+    def test_fully_cached_real_batch_reports_positive_throughput(self):
+        """End to end: a warm in-memory batch must never report 0/s."""
+        program = parse_program(FIGURE2)
+        cache = ResultCache()
+        config = PortfolioConfig(schemes=("enhanced",), parallel=False)
+        run_batch([program], config=config, cache=cache)
+        warm = run_batch([program] * 8, config=config, cache=cache)
+        assert warm.cached_fraction == 1.0
+        assert math.isfinite(warm.throughput)
+        assert warm.throughput > 0.0

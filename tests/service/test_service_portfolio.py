@@ -75,6 +75,56 @@ class TestConfig:
         with pytest.raises(ValueError, match="at least one"):
             PortfolioConfig(schemes=())
 
+    def test_parse_rejects_duplicate_tokens(self):
+        """Racing two copies of one scheme burns a process on an
+        identical search; the CLI syntax rejects it with the tokens."""
+        with pytest.raises(ValueError, match="duplicate scheme tokens"):
+            PortfolioConfig.parse("min-conflicts, min-conflicts ,enhanced")
+        with pytest.raises(ValueError, match="min-conflicts"):
+            PortfolioConfig.parse("min-conflicts,min-conflicts")
+
+    def test_scheme_seeds_are_distinct_per_position(self):
+        config = PortfolioConfig(
+            schemes=("enhanced", "cbj", "min-conflicts"), seed=7
+        )
+        seeds = [config.scheme_seed(i) for i in range(len(config.schemes))]
+        assert len(set(seeds)) == len(seeds)
+        # Index 0 keeps the base seed: a single-scheme portfolio stays
+        # bit-compatible with running that scheme directly.
+        assert seeds[0] == config.seed
+
+    def test_race_hands_each_scheme_its_own_seed(self):
+        """Two randomized schemes must not take identical walks: the
+        race derives one distinct RNG seed per position."""
+        recorded: dict[str, int] = {}
+
+        class _Recorder:
+            def __init__(self, name):
+                self.name = name
+
+            def solve(self, network):
+                return SolverResult(None, SolverStats(), complete=False)
+
+        def factory(name):
+            def make(seed):
+                recorded[name] = seed
+                return _Recorder(name)
+
+            return make
+
+        EXTRA_SCHEMES["rec-a"] = factory("rec-a")
+        EXTRA_SCHEMES["rec-b"] = factory("rec-b")
+        try:
+            config = PortfolioConfig(
+                schemes=("rec-a", "rec-b"), seed=11, parallel=False
+            )
+            PortfolioSolver(config).optimize(parse_program(FIGURE2))
+        finally:
+            EXTRA_SCHEMES.pop("rec-a", None)
+            EXTRA_SCHEMES.pop("rec-b", None)
+        assert recorded["rec-a"] == 11
+        assert recorded["rec-b"] != recorded["rec-a"]
+
     def test_token_ignores_latency_knobs(self):
         """Deadline/parallelism change speed, not answers: same key."""
         fast = PortfolioConfig(deadline_seconds=1.0, parallel=False)
