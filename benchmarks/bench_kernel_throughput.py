@@ -1,0 +1,176 @@
+"""Propagation-kernel throughput: numpy engine vs bitset engine.
+
+Not a paper table -- this gates the vectorized kernel
+(:mod:`repro.csp.vectorized`): on the Table 2 benchmark suite, a fixed
+per-network solver mix must run **>= 3x** faster through the numpy
+engine than through the bitset engine, while returning **byte-identical**
+solutions, RNG streams and effort counters (nodes, backtracks,
+backjumps, consistency checks, restarts).
+
+The mix per network is the propagation-dominated serving work one
+request fans out into:
+
+* an AC-3 preprocessing pass (whole-domain revisions);
+* an enhanced-scheme solve (vectorized MCV/LCV orderings);
+* a forward-checking solve (vectorized MRV selection);
+* a 16-seed min-conflicts restart portfolio (the lockstep batched
+  chains) with a fixed step budget, the dominant share by design --
+  conflict scanning is the paper workload's propagation hot spot.
+
+Environment knobs (the CI smoke job caps the budgets and disables the
+timing gate; parity is asserted either way):
+
+* ``REPRO_BENCH_MC_STEPS``    -- per-chain step budget (default 600);
+* ``REPRO_BENCH_MC_CHAINS``   -- chains per network (default 16);
+* ``REPRO_BENCH_KERNEL_GATE`` -- set to ``0`` to report the speedup
+  without failing below 3x (shared CI runners time unreliably).
+
+Run:  pytest benchmarks/bench_kernel_throughput.py --benchmark-only -s
+"""
+
+import os
+import time
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.bench import BENCHMARK_NAMES
+from repro.csp.arc_consistency import ac3
+from repro.csp.enhanced import EnhancedSolver
+from repro.csp.forward_checking import ForwardCheckingSolver
+from repro.csp.vectorized import as_vectorized, batch_min_conflicts
+from repro.opt.report import format_table
+from benchmarks.conftest import HARNESS_SEED
+
+#: Min-conflicts budgets: the chains deliberately dominate the mix.
+MC_STEPS = int(os.environ.get("REPRO_BENCH_MC_STEPS", 600))
+MC_CHAINS = int(os.environ.get("REPRO_BENCH_MC_CHAINS", 16))
+MC_RESTARTS = 2
+
+#: Timing gate (>= 3x); parity is always asserted.
+GATE = os.environ.get("REPRO_BENCH_KERNEL_GATE", "1") != "0"
+REQUIRED_SPEEDUP = 3.0
+
+_runs: dict[str, dict] = {}
+
+
+def _run_mix(kernel, engine: str) -> tuple[dict, dict[str, float]]:
+    """One network's request mix; returns (observables, seconds-by-op)."""
+    seconds: dict[str, float] = {}
+
+    start = time.perf_counter()
+    arc = ac3(kernel, engine=engine)
+    seconds["ac3"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    enhanced = EnhancedSolver(seed=HARNESS_SEED, engine=engine).solve(kernel)
+    seconds["enhanced"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    forward = ForwardCheckingSolver(engine=engine).solve(kernel)
+    seconds["fc"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    chains = batch_min_conflicts(
+        kernel,
+        seeds=[HARNESS_SEED + index for index in range(MC_CHAINS)],
+        max_steps=MC_STEPS,
+        max_restarts=MC_RESTARTS,
+        engine=engine,
+    )
+    seconds["minconflicts"] = time.perf_counter() - start
+
+    def counters(result):
+        stats = result.stats.as_dict()
+        stats.pop("time_seconds")
+        return stats
+
+    observed = {
+        "ac3": (arc.consistent, arc.domains, arc.revisions, arc.removed),
+        "enhanced": (enhanced.assignment, counters(enhanced)),
+        "fc": (forward.assignment, counters(forward)),
+        "chains": [
+            (chain.assignment, chain.complete, counters(chain))
+            for chain in chains
+        ],
+    }
+    return observed, seconds
+
+
+@pytest.mark.parametrize("engine", ["bitset", "numpy"])
+def test_kernel_throughput(benchmark, engine, networks):
+    """Time the full-suite mix once per engine (one-shot, like Table 2)."""
+    kernels = {name: networks[name].kernel() for name in BENCHMARK_NAMES}
+    if engine == "numpy":
+        # Warm the plane cache: a resident worker builds (or attaches)
+        # the vectorized kernel once and serves many requests from it,
+        # which is the throughput being modelled here.
+        for kernel in kernels.values():
+            as_vectorized(kernel)
+
+    def run_suite():
+        observed: dict[str, dict] = {}
+        seconds: dict[str, dict[str, float]] = {}
+        for name, kernel in kernels.items():
+            observed[name], seconds[name] = _run_mix(kernel, engine)
+        return observed, seconds
+
+    start = time.perf_counter()
+    observed, seconds = run_suite()
+    elapsed = time.perf_counter() - start
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {"suite_seconds": elapsed, "suites_per_second": 1.0 / elapsed}
+    )
+    _runs[engine] = {
+        "observed": observed,
+        "seconds": seconds,
+        "elapsed": elapsed,
+    }
+
+
+def test_parity_and_speedup(benchmark):
+    """Byte-identical observables; >= 3x suite throughput (gated)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert set(_runs) == {"bitset", "numpy"}, "run the two engine benchmarks"
+    bitset, numpy_run = _runs["bitset"], _runs["numpy"]
+
+    # Parity: solutions, UNSAT/completeness verdicts, RNG-stream-pinned
+    # effort counters, AC-3 domains and revision counts -- everything
+    # observable must match byte for byte.
+    for name in BENCHMARK_NAMES:
+        assert bitset["observed"][name] == numpy_run["observed"][name], name
+
+    rows = []
+    for name in BENCHMARK_NAMES:
+        cold, warm = bitset["seconds"][name], numpy_run["seconds"][name]
+        rows.append(
+            [
+                name,
+                *(
+                    f"{cold[op] * 1e3:.1f} / {warm[op] * 1e3:.1f}"
+                    for op in ("ac3", "enhanced", "fc", "minconflicts")
+                ),
+                f"{sum(cold.values()) / sum(warm.values()):.2f}x",
+            ]
+        )
+    speedup = bitset["elapsed"] / numpy_run["elapsed"]
+    print("\n\n=== Propagation-kernel throughput (ms bitset / ms numpy) ===")
+    print(
+        format_table(
+            ["Benchmark", "ac3", "enhanced", "fc", f"mc x{MC_CHAINS}", "speedup"],
+            rows,
+        )
+    )
+    print(
+        f"suite: bitset {bitset['elapsed']:.3f}s, numpy "
+        f"{numpy_run['elapsed']:.3f}s -> {speedup:.2f}x "
+        f"(gate {'>= %.1fx' % REQUIRED_SPEEDUP if GATE else 'off'})"
+    )
+    benchmark.extra_info.update({"speedup": speedup, "gated": GATE})
+    if GATE:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"numpy engine is {speedup:.2f}x the bitset engine; "
+            f"the vectorized kernel must deliver >= {REQUIRED_SPEEDUP}x"
+        )

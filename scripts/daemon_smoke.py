@@ -7,7 +7,11 @@ daemon twice and asserts:
 * every response is ``ok`` on both passes;
 * the second pass serves **>= 50%** of requests from the daemon's
   sharded cache;
-* solve payloads are byte-identical across the two passes.
+* solve payloads are byte-identical across the two passes;
+* when the numpy engine served misses on a multi-worker daemon, at
+  least one warm worker **attached** the shared-memory vectorized
+  kernel published by a sibling (the ``engines`` breakdown in the
+  daemon's ``stats`` response) instead of rebuilding it per process.
 
 Usage::
 
@@ -44,11 +48,16 @@ def main(argv: list[str]) -> int:
     socket_path = argv[1]
     wait_for_socket(socket_path)
 
-    # 10 mixed requests: 5 solves, 5 evaluations (cheap analytic model).
+    # 10 mixed requests: 5 solves, 5 evaluations (cheap analytic
+    # model), interleaved per program so both request kinds of one
+    # fingerprint are in flight together -- with >= 2 warm workers the
+    # pair lands on different processes, which is exactly the
+    # shared-kernel publish/attach case the stats assertion checks.
     programs = [build_benchmark("MxM")] + list(random_suite(4, seed=3))
-    requests = [solve_request(program) for program in programs] + [
-        evaluate_request(program, cost_model="analytic") for program in programs
-    ]
+    requests = []
+    for program in programs:
+        requests.append(solve_request(program))
+        requests.append(evaluate_request(program, cost_model="analytic"))
 
     with DaemonClient(socket_path) as client:
         hello = client.ping()
@@ -73,13 +82,28 @@ def main(argv: list[str]) -> int:
         print("FAIL: second pass must be >= 50% cache-served")
         return 1
 
-    solves = len(programs)
-    for before, after in zip(first[:solves], second[:solves]):
+    # Solve requests sit at the even indices (interleaved batch).
+    for index in range(0, len(requests), 2):
+        before, after = first[index], second[index]
         if json.dumps(before["result"], sort_keys=True) != json.dumps(
             after["result"], sort_keys=True
         ):
             print(f"FAIL: payload drift for {before['result'].get('program')}")
             return 1
+
+    engines = stats.get("engines", {})
+    print(f"daemon engines: {engines}")
+    workers = hello["result"].get("workers", 1)
+    if hello["result"].get("numpy") and workers >= 2 and engines.get("numpy", 0) >= 2:
+        attached = engines.get("shared_attached", 0)
+        if attached < 1:
+            print(
+                "FAIL: numpy misses on a multi-worker daemon must attach "
+                "the shared vectorized kernel at least once "
+                f"(engines={engines})"
+            )
+            return 1
+        print(f"OK: {attached} shared-kernel attach(es) across warm workers")
     with DaemonClient(socket_path) as client:
         client.shutdown()
     print("OK: daemon smoke passed (daemon asked to shut down)")

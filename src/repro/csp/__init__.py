@@ -7,6 +7,11 @@
 * :mod:`repro.csp.compiled` -- the *execution* representation: dense
   integer indices and per-value support bitmasks; every solver below
   runs its inner loop on this kernel.
+* :mod:`repro.csp.vectorized` -- the numpy *acceleration* tier: dense
+  support matrices and batched array operations behind every solver's
+  ``engine="bitset" | "numpy" | "auto"`` knob, parity-preserving
+  (identical RNG streams, counters and solutions), plus zero-copy
+  shared-memory kernel sharing for resident worker pools.
 * :mod:`repro.csp.stats` -- search instrumentation shared by all
   solvers (nodes, backtracks, backjumps, consistency checks, time).
 * :mod:`repro.csp.backtracking` -- the paper's *base scheme*:
@@ -28,6 +33,13 @@
 
 from repro.csp.network import BinaryConstraint, ConstraintNetwork
 from repro.csp.compiled import CompiledNetwork, compile_network
+from repro.csp.vectorized import (
+    VectorizedKernel,
+    as_vectorized,
+    batch_min_conflicts,
+    numpy_available,
+    resolve_engine,
+)
 from repro.csp.stats import SolverStats, SolverResult
 from repro.csp.backtracking import BacktrackingSolver
 from repro.csp.enhanced import EnhancedSolver, EnhancementConfig
@@ -43,6 +55,11 @@ __all__ = [
     "ConstraintNetwork",
     "CompiledNetwork",
     "compile_network",
+    "VectorizedKernel",
+    "as_vectorized",
+    "batch_min_conflicts",
+    "numpy_available",
+    "resolve_engine",
     "SolverStats",
     "SolverResult",
     "BacktrackingSolver",

@@ -6,9 +6,19 @@ shrinks domains substantially (an array layout wanted by no consistent
 restructuring of any nest is dropped up front), and can prove
 unsatisfiability without any search at all.
 
-The revision loop runs on the compiled kernel: a value survives iff its
-support bitmask intersects the source's live domain mask -- one AND per
-value instead of a nested any()-scan over the pair set.
+The work queue tracks membership with a pending set: an arc whose
+revision is already scheduled is never enqueued twice, so a revision
+wave through a high-degree variable costs one revision per arc instead
+of one per re-trigger (the classic AC-3 duplicate-queue waste).
+
+Two engines run the revision loop (``engine="auto"`` sizes the choice
+per network):
+
+* ``bitset``: a value survives iff its support bitmask intersects the
+  source's live domain mask -- one AND per live value;
+* ``numpy``: the whole-domain revision is one masked ``any`` over the
+  arc's dense support matrix (:mod:`repro.csp.vectorized`), with
+  identical queue discipline, revision counts and pruned domains.
 """
 
 from __future__ import annotations
@@ -19,6 +29,12 @@ from typing import Hashable
 
 from repro.csp.compiled import CompiledNetwork, as_compiled, iter_bits
 from repro.csp.network import ConstraintNetwork
+from repro.csp.vectorized import (
+    ENGINE_AUTO,
+    ENGINE_NUMPY,
+    as_vectorized,
+    resolve_engine,
+)
 
 Value = Hashable
 
@@ -40,7 +56,9 @@ class ArcConsistencyResult:
     removed: int
 
 
-def ac3(network: ConstraintNetwork | CompiledNetwork) -> ArcConsistencyResult:
+def ac3(
+    network: ConstraintNetwork | CompiledNetwork, engine: str = ENGINE_AUTO
+) -> ArcConsistencyResult:
     """Run AC-3 on the network and return the reduced domains.
 
     The input network is not modified; use
@@ -48,17 +66,18 @@ def ac3(network: ConstraintNetwork | CompiledNetwork) -> ArcConsistencyResult:
     network when the result is consistent.
     """
     kernel = as_compiled(network)
+    if resolve_engine(engine, kernel) == ENGINE_NUMPY:
+        return _ac3_numpy(kernel)
     masks = list(kernel.full_masks)
-    queue: deque[tuple[int, int]] = deque()
-    for first, second in kernel.pairs:
-        queue.append((first, second))
-        queue.append((second, first))
+    queue, pending = _seed_queue(kernel)
 
     supports = kernel.supports
     revisions = 0
     removed = 0
     while queue:
-        target, source = queue.popleft()
+        arc = queue.popleft()
+        pending.discard(arc)
+        target, source = arc
         revisions += 1
         support = supports[(target, source)]
         source_mask = masks[source]
@@ -73,11 +92,81 @@ def ac3(network: ConstraintNetwork | CompiledNetwork) -> ArcConsistencyResult:
         if not surviving:
             return ArcConsistencyResult(False, {}, revisions, removed)
         if pruned_here:
-            for neighbor in kernel.neighbors[target]:
-                if neighbor != source:
-                    queue.append((neighbor, target))
+            _requeue_neighbors(kernel, target, source, queue, pending)
     domains = {
         kernel.names[i]: tuple(kernel.domains[i][value] for value in iter_bits(masks[i]))
         for i in range(kernel.variable_count)
+    }
+    return ArcConsistencyResult(True, domains, revisions, removed)
+
+
+def _seed_queue(
+    kernel: CompiledNetwork,
+) -> tuple[deque[tuple[int, int]], set[tuple[int, int]]]:
+    """Both orientations of every pair, each arc queued at most once."""
+    queue: deque[tuple[int, int]] = deque()
+    pending: set[tuple[int, int]] = set()
+    for first, second in kernel.pairs:
+        for arc in ((first, second), (second, first)):
+            if arc not in pending:
+                pending.add(arc)
+                queue.append(arc)
+    return queue, pending
+
+
+def _requeue_neighbors(
+    kernel: CompiledNetwork,
+    target: int,
+    source: int,
+    queue: deque[tuple[int, int]],
+    pending: set[tuple[int, int]],
+) -> None:
+    """Re-examine arcs into a pruned variable (each at most once)."""
+    for neighbor in kernel.neighbors[target]:
+        if neighbor == source:
+            continue
+        arc = (neighbor, target)
+        if arc not in pending:
+            pending.add(arc)
+            queue.append(arc)
+
+
+def _ac3_numpy(kernel: CompiledNetwork) -> ArcConsistencyResult:
+    """The numpy revision loop: one masked ``any`` per arc."""
+    import numpy as np
+
+    vectorized = as_vectorized(kernel)
+    count = vectorized.variable_count
+    live = np.zeros((count, vectorized.max_domain), dtype=bool)
+    for i in range(count):
+        live[i, : vectorized.domain_size_list[i]] = True
+    queue, pending = _seed_queue(kernel)
+
+    revisions = 0
+    removed = 0
+    while queue:
+        arc = queue.popleft()
+        pending.discard(arc)
+        target, source = arc
+        revisions += 1
+        matrix = vectorized.support_matrix(target, vectorized.slot_of[(target, source)])
+        target_dom = vectorized.domain_size_list[target]
+        source_dom = vectorized.domain_size_list[source]
+        supported = (matrix & live[source, :source_dom]).any(axis=1)
+        current = live[target, :target_dom]
+        surviving = current & supported
+        pruned_here = int(current.sum() - surviving.sum())
+        if pruned_here:
+            removed += pruned_here
+            live[target, :target_dom] = surviving
+            if not surviving.any():
+                return ArcConsistencyResult(False, {}, revisions, removed)
+            _requeue_neighbors(kernel, target, source, queue, pending)
+    domains = {
+        kernel.names[i]: tuple(
+            kernel.domains[i][int(value)]
+            for value in np.flatnonzero(live[i, : vectorized.domain_size_list[i]])
+        )
+        for i in range(count)
     }
     return ArcConsistencyResult(True, domains, revisions, removed)

@@ -22,13 +22,16 @@ class ConflictDirectedSolver:
 
     name = "cbj"
 
-    def __init__(self, seed: int = 0, use_orderings: bool = True):
+    def __init__(
+        self, seed: int = 0, use_orderings: bool = True, engine: str = "auto"
+    ):
         self._engine = SearchEngine(
             EngineConfig(
                 variable_ordering=use_orderings,
                 value_ordering=use_orderings,
                 jump_mode=JUMP_CONFLICT,
                 seed=seed,
+                engine=engine,
             )
         )
 

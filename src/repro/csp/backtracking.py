@@ -25,7 +25,9 @@ class BacktrackingSolver:
 
     name = "base"
 
-    def __init__(self, seed: int = 0, max_nodes: int | None = None):
+    def __init__(
+        self, seed: int = 0, max_nodes: int | None = None, engine: str = "auto"
+    ):
         self._engine = SearchEngine(
             EngineConfig(
                 variable_ordering=False,
@@ -33,6 +35,7 @@ class BacktrackingSolver:
                 jump_mode=JUMP_CHRONOLOGICAL,
                 seed=seed,
                 max_nodes=max_nodes,
+                engine=engine,
             )
         )
 

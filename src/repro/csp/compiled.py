@@ -38,12 +38,29 @@ from repro.csp.network import ConstraintNetwork
 Value = Hashable
 
 
+#: One CPython machine-word's worth of mask (63 payload bits).
+_WORD_MASK = (1 << 63) - 1
+
+
 def iter_bits(mask: int) -> Iterator[int]:
-    """Yield the set bit positions of a mask, ascending."""
+    """Yield the set bit positions of a mask, ascending.
+
+    Lowest-set-bit extraction (``word & -word`` + ``bit_length``), on
+    one 63-bit chunk of the mask at a time: every arithmetic op in the
+    inner loop runs on a machine-sized int, so the cost per yielded
+    value is O(1) regardless of how wide the full mask is (a naive
+    ``mask ^= low`` loop pays a big-int pass over *all* words of the
+    mask for every bit it yields).
+    """
+    base = 0
     while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
+        word = mask & _WORD_MASK
+        mask >>= 63
+        while word:
+            low = word & -word
+            yield base + low.bit_length() - 1
+            word ^= low
+        base += 63
 
 
 class CompiledNetwork:
@@ -195,6 +212,23 @@ class CompiledNetwork:
                 )
             )
         return (variables, tuple(sorted(constraints)))
+
+    # -- pickling ---------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Drop the vectorized-plane cache from pickles.
+
+        The numpy planes (:mod:`repro.csp.vectorized`) can be many
+        times the kernel's own size; worker processes rebuild them,
+        inherit them across a ``fork``, or attach the shared-memory
+        segment -- they must never ride along in a pickle.
+        """
+        state = dict(self.__dict__)
+        state.pop("_vector_cache", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def __str__(self) -> str:
         return (

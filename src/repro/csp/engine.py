@@ -36,6 +36,14 @@ from dataclasses import dataclass
 from repro.csp.compiled import CompiledNetwork, as_compiled
 from repro.csp.network import ConstraintNetwork
 from repro.csp.stats import SolverResult, SolverStats, Stopwatch
+from repro.csp.vectorized import (
+    ENGINE_AUTO,
+    ENGINE_NUMPY,
+    ENGINES,
+    MaskedLexArgmin,
+    as_vectorized,
+    resolve_engine,
+)
 
 #: Jump rule names accepted by the engine.
 JUMP_CHRONOLOGICAL = "chronological"
@@ -58,6 +66,13 @@ class EngineConfig:
         max_nodes: optional node budget; when exhausted the solver
             stops and reports an *incomplete* result (None assignment
             with ``complete=False``) instead of running unboundedly.
+        engine: ``bitset``, ``numpy`` or ``auto`` -- which propagation
+            kernel evaluates the ordering heuristics.  The search, its
+            RNG stream and every effort counter are identical either
+            way; the numpy engine computes the most-constraining and
+            least-constraining scores as array operations.  Random
+            orderings have no heuristic mathematics, so the base
+            scheme runs the same code under both engines.
     """
 
     variable_ordering: bool = False
@@ -65,16 +80,71 @@ class EngineConfig:
     jump_mode: str = JUMP_CHRONOLOGICAL
     seed: int = 0
     max_nodes: int | None = None
+    engine: str = ENGINE_AUTO
 
     def __post_init__(self) -> None:
         if self.jump_mode not in (JUMP_CHRONOLOGICAL, JUMP_GRAPH, JUMP_CONFLICT):
             raise ValueError(f"unknown jump mode {self.jump_mode!r}")
         if self.max_nodes is not None and self.max_nodes <= 0:
             raise ValueError("max_nodes must be positive when given")
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; pick one of {ENGINES}")
 
 
 class _NodeBudgetExhausted(Exception):
     """Internal: raised when the engine's node budget runs out."""
+
+
+class _VecOrderings:
+    """Per-solve numpy state for the ordering heuristics.
+
+    Tracks the unassigned-variable indicator vector and precomputes
+    the static parts of the most-constraining key, so a variable
+    selection is one adjacency matrix-vector product plus an argmin
+    (:class:`~repro.csp.vectorized.MaskedLexArgmin`) and a value
+    ordering is one row-sum plus a stable argsort.
+    """
+
+    def __init__(self, vectorized):
+        import numpy as np
+
+        self.np = np
+        self.vk = vectorized
+        count = vectorized.variable_count
+        self.unassigned = np.ones(count, dtype=np.int64)
+        max_domain = vectorized.max_domain
+        # Reference key: (-future_degree, -total_degree, domain, rank)
+        # (`_select_variable`), with future_degree the dynamic digit:
+        # both negated counts are encoded ascending as (bound - count).
+        self.mcv = MaskedLexArgmin(
+            (
+                (count - vectorized.degrees) * (max_domain + 2)
+                + vectorized.domain_sizes
+            ) * (count + 1)
+            + vectorized.name_rank
+        )
+
+    def select_most_constraining(self) -> int:
+        vk = self.vk
+        future_degree = vk.adjacency @ self.unassigned
+        return self.mcv.argmin(
+            vk.variable_count - future_degree, self.unassigned == 1
+        )
+
+    def order_least_constraining(self, variable: int, stats: SolverStats) -> list[int]:
+        np = self.np
+        vk = self.vk
+        degree = vk.degree_list[variable]
+        domain = vk.domain_size_list[variable]
+        if degree == 0:
+            return list(range(domain))
+        neighbors = vk.neighbors_pad[variable, :degree]
+        live = self.unassigned[neighbors] == 1
+        totals = vk.lcv_counts[variable, :degree][live, :domain].sum(axis=0)
+        stats.consistency_checks += domain * int(
+            vk.domain_sizes[neighbors[live]].sum()
+        )
+        return np.argsort(-totals, kind="stable").tolist()
 
 
 class SearchEngine:
@@ -98,12 +168,17 @@ class SearchEngine:
         stats = SolverStats()
         rng = random.Random(self._config.seed)
         complete = True
+        vec = None
+        if (
+            self._config.variable_ordering or self._config.value_ordering
+        ) and resolve_engine(self._config.engine, kernel) == ENGINE_NUMPY:
+            vec = _VecOrderings(as_vectorized(kernel))
         with Stopwatch(stats):
             values: list[int | None] = [None] * kernel.variable_count
             depth_of = [0] * kernel.variable_count
             try:
                 solution, _, _ = self._search(
-                    kernel, values, 0, depth_of, rng, stats
+                    kernel, values, 0, depth_of, rng, stats, vec
                 )
             except _NodeBudgetExhausted:
                 solution = None
@@ -120,14 +195,15 @@ class SearchEngine:
         depth_of: list[int],
         rng: random.Random,
         stats: SolverStats,
+        vec: "_VecOrderings | None",
     ) -> tuple[dict | None, int, set[int]]:
         if depth == kernel.variable_count:
             return kernel.to_named(values), depth, set()
 
-        variable = self._select_variable(kernel, values, rng)
+        variable = self._select_variable(kernel, values, rng, vec)
         conflict_union: set[int] = set()
         budget = self._config.max_nodes
-        for value in self._order_values(kernel, variable, values, rng, stats):
+        for value in self._order_values(kernel, variable, values, rng, stats, vec):
             stats.nodes += 1
             if budget is not None and stats.nodes > budget:
                 raise _NodeBudgetExhausted()
@@ -139,12 +215,16 @@ class SearchEngine:
                 continue
             values[variable] = value
             depth_of[variable] = depth
+            if vec is not None:
+                vec.unassigned[variable] = 0
             solution, jump, child_conflicts = self._search(
-                kernel, values, depth + 1, depth_of, rng, stats
+                kernel, values, depth + 1, depth_of, rng, stats, vec
             )
             if solution is not None:
                 return solution, jump, child_conflicts
             values[variable] = None
+            if vec is not None:
+                vec.unassigned[variable] = 1
             if jump < depth:
                 # We are being jumped over: unwind without retrying.
                 return None, jump, child_conflicts
@@ -171,7 +251,10 @@ class SearchEngine:
         kernel: CompiledNetwork,
         values: list[int | None],
         rng: random.Random,
+        vec: "_VecOrderings | None" = None,
     ) -> int:
+        if self._config.variable_ordering and vec is not None:
+            return vec.select_most_constraining()
         unassigned = [i for i in range(kernel.variable_count) if values[i] is None]
         if not self._config.variable_ordering:
             return rng.choice(unassigned)
@@ -203,7 +286,10 @@ class SearchEngine:
         values: list[int | None],
         rng: random.Random,
         stats: SolverStats,
+        vec: "_VecOrderings | None" = None,
     ) -> list[int]:
+        if self._config.value_ordering and vec is not None:
+            return vec.order_least_constraining(variable, stats)
         order = list(range(kernel.domain_size(variable)))
         if not self._config.value_ordering:
             rng.shuffle(order)

@@ -74,6 +74,7 @@ class EnhancedSolver:
         config: EnhancementConfig | None = None,
         seed: int = 0,
         max_nodes: int | None = None,
+        engine: str = "auto",
     ):
         self._config = config if config is not None else EnhancementConfig.all_on()
         self._engine = SearchEngine(
@@ -83,6 +84,7 @@ class EnhancedSolver:
                 jump_mode=JUMP_GRAPH if self._config.backjumping else JUMP_CHRONOLOGICAL,
                 seed=seed,
                 max_nodes=max_nodes,
+                engine=engine,
             )
         )
 

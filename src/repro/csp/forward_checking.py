@@ -9,7 +9,12 @@ by the ablation benchmarks.
 Runs on the compiled kernel: live domains are bitmasks, so pruning a
 neighbor against an assignment is a single AND with the support mask
 (the checks counter still reports the per-value cost for comparability)
-and restoring on backtrack rewrites one int per touched neighbor.
+and restoring on backtrack rewrites one int per touched neighbor.  The
+numpy engine (``engine="numpy"``; see :mod:`repro.csp.vectorized`)
+additionally keeps the live-domain popcounts in a maintained vector so
+the MRV variable selection is one masked argmin instead of a Python
+scan over every variable per node -- the search tree, pruning order
+and effort counters are identical.
 """
 
 from __future__ import annotations
@@ -17,6 +22,37 @@ from __future__ import annotations
 from repro.csp.compiled import CompiledNetwork, as_compiled
 from repro.csp.network import ConstraintNetwork
 from repro.csp.stats import SolverResult, SolverStats, Stopwatch
+from repro.csp.vectorized import (
+    ENGINE_AUTO,
+    ENGINE_NUMPY,
+    MaskedLexArgmin,
+    as_vectorized,
+    resolve_engine,
+)
+
+
+class _VecSelection:
+    """Maintained numpy state for the vectorized MRV selection.
+
+    ``popcounts`` mirrors ``domains[i].bit_count()`` for every
+    variable; the reference key ``(popcount, -degree, rank)``
+    (`_select_mrv`) has its tail encoded once into a
+    :class:`~repro.csp.vectorized.MaskedLexArgmin`.
+    """
+
+    def __init__(self, vectorized):
+        import numpy as np
+
+        self.np = np
+        count = vectorized.variable_count
+        self.popcounts = vectorized.domain_sizes.copy()
+        self.assigned = np.zeros(count, dtype=bool)
+        self.mrv = MaskedLexArgmin(
+            (count - vectorized.degrees) * (count + 1) + vectorized.name_rank
+        )
+
+    def select(self) -> int:
+        return self.mrv.argmin(self.popcounts, ~self.assigned)
 
 
 class ForwardCheckingSolver:
@@ -27,19 +63,23 @@ class ForwardCheckingSolver:
 
     name = "forward-checking"
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, engine: str = ENGINE_AUTO):
         # The seed is accepted for interface symmetry; the solver is
         # fully deterministic (MRV with lexicographic tie-break).
         self._seed = seed
+        self._engine = engine
 
     def solve(self, network: ConstraintNetwork | CompiledNetwork) -> SolverResult:
         """Find one solution (or prove there is none)."""
         kernel = as_compiled(network)
+        vec = None
+        if resolve_engine(self._engine, kernel) == ENGINE_NUMPY:
+            vec = _VecSelection(as_vectorized(kernel))
         stats = SolverStats()
         with Stopwatch(stats):
             domains = list(kernel.full_masks)
             values: list[int | None] = [None] * kernel.variable_count
-            solution = self._search(kernel, values, 0, domains, stats)
+            solution = self._search(kernel, values, 0, domains, stats, vec)
         return SolverResult(solution, stats, complete=True)
 
     def _search(
@@ -49,10 +89,14 @@ class ForwardCheckingSolver:
         assigned: int,
         domains: list[int],
         stats: SolverStats,
+        vec: _VecSelection | None,
     ) -> dict | None:
         if assigned == kernel.variable_count:
             return kernel.to_named(values)
-        variable = self._select_mrv(kernel, values, domains)
+        if vec is not None:
+            variable = vec.select()
+        else:
+            variable = self._select_mrv(kernel, values, domains)
         remaining = domains[variable]
         while remaining:
             low = remaining & -remaining
@@ -60,15 +104,21 @@ class ForwardCheckingSolver:
             value = low.bit_length() - 1
             stats.nodes += 1
             pruned = self._forward_prune(
-                kernel, variable, value, values, domains, stats
+                kernel, variable, value, values, domains, stats, vec
             )
             if pruned is not None:
                 values[variable] = value
-                solution = self._search(kernel, values, assigned + 1, domains, stats)
+                if vec is not None:
+                    vec.assigned[variable] = True
+                solution = self._search(
+                    kernel, values, assigned + 1, domains, stats, vec
+                )
                 if solution is not None:
                     return solution
                 values[variable] = None
-                self._restore(domains, pruned)
+                if vec is not None:
+                    vec.assigned[variable] = False
+                self._restore(domains, pruned, vec)
             # A None pruning result means some neighbor was wiped out;
             # the next value is tried immediately.
         stats.backtracks += 1
@@ -95,6 +145,7 @@ class ForwardCheckingSolver:
         values: list[int | None],
         domains: list[int],
         stats: SolverStats,
+        vec: _VecSelection | None,
     ) -> list[tuple[int, int]] | None:
         """Prune neighbor domains; None (and full rollback) on wipe-out.
 
@@ -110,7 +161,7 @@ class ForwardCheckingSolver:
                 # compatible values when it was assigned).
                 stats.consistency_checks += 1
                 if not (support >> neighbor_value) & 1:
-                    self._restore(domains, pruned)
+                    self._restore(domains, pruned, vec)
                     return None
                 continue
             before = domains[neighbor]
@@ -118,13 +169,21 @@ class ForwardCheckingSolver:
             after = before & support
             if after != before:
                 domains[neighbor] = after
+                if vec is not None:
+                    vec.popcounts[neighbor] = after.bit_count()
                 pruned.append((neighbor, before))
                 if not after:
-                    self._restore(domains, pruned)
+                    self._restore(domains, pruned, vec)
                     return None
         return pruned
 
     @staticmethod
-    def _restore(domains: list[int], pruned: list[tuple[int, int]]) -> None:
+    def _restore(
+        domains: list[int],
+        pruned: list[tuple[int, int]],
+        vec: _VecSelection | None = None,
+    ) -> None:
         for neighbor, before in reversed(pruned):
             domains[neighbor] = before
+            if vec is not None:
+                vec.popcounts[neighbor] = before.bit_count()

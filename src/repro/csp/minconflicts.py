@@ -6,9 +6,21 @@ random restarts.  Useful as a fast incomplete alternative on very large
 networks and as a cross-check oracle in tests (any assignment it
 returns is verified by :meth:`ConstraintNetwork.is_solution`).
 
-The conflict counting runs on the compiled kernel (one shift-and-mask
-per neighbor); the RNG stream is identical to the historical
-object-based implementation, so seeded runs reproduce the same walks.
+Two engines implement the same walk (``engine="auto"`` sizes the
+choice per network):
+
+* ``bitset``: the compiled kernel's shift-and-mask loops (one check
+  per directed arc per scan);
+* ``numpy``: the vectorized kernel (:mod:`repro.csp.vectorized`)
+  keeps the per-variable conflict counts in an incrementally updated
+  vector and evaluates whole-domain repair candidates as one support
+  gather -- same RNG stream, same effort counters, same walk, fewer
+  interpreter cycles.
+
+:meth:`MinConflictsSolver.solve_batch` runs one chain per seed through
+the shared kernel; on the numpy engine the chains advance in lockstep
+as a single vectorized batch (the restart-portfolio form the service
+uses).
 """
 
 from __future__ import annotations
@@ -18,6 +30,12 @@ import random
 from repro.csp.compiled import CompiledNetwork, as_compiled
 from repro.csp.network import ConstraintNetwork
 from repro.csp.stats import SolverResult, SolverStats, Stopwatch
+from repro.csp.vectorized import (
+    ENGINE_AUTO,
+    ENGINE_NUMPY,
+    batch_min_conflicts,
+    resolve_engine,
+)
 
 
 class MinConflictsSolver:
@@ -30,16 +48,26 @@ class MinConflictsSolver:
         seed: int = 0,
         max_steps: int = 10_000,
         max_restarts: int = 10,
+        engine: str = ENGINE_AUTO,
     ):
         if max_steps <= 0 or max_restarts <= 0:
             raise ValueError("max_steps and max_restarts must be positive")
         self._seed = seed
         self._max_steps = max_steps
         self._max_restarts = max_restarts
+        self._engine = engine
 
     def solve(self, network: ConstraintNetwork | CompiledNetwork) -> SolverResult:
         """Search for a solution; gives up after the step/restart budget."""
         kernel = as_compiled(network)
+        if resolve_engine(self._engine, kernel) == ENGINE_NUMPY:
+            return batch_min_conflicts(
+                kernel,
+                [self._seed],
+                max_steps=self._max_steps,
+                max_restarts=self._max_restarts,
+                engine=ENGINE_NUMPY,
+            )[0]
         stats = SolverStats()
         rng = random.Random(self._seed)
         with Stopwatch(stats):
@@ -53,6 +81,26 @@ class MinConflictsSolver:
                     return SolverResult(solution, stats, complete=False)
                 stats.restarts += 1
         return SolverResult(None, stats, complete=False)
+
+    def solve_batch(
+        self,
+        network: ConstraintNetwork | CompiledNetwork,
+        seeds,
+    ) -> list[SolverResult]:
+        """One independent chain per seed, sharing this solver's budgets.
+
+        Chain ``k`` is byte-identical to
+        ``MinConflictsSolver(seed=seeds[k], ...).solve(network)``; the
+        numpy engine steps all chains in lockstep (see
+        :func:`repro.csp.vectorized.batch_min_conflicts`).
+        """
+        return batch_min_conflicts(
+            network,
+            seeds,
+            max_steps=self._max_steps,
+            max_restarts=self._max_restarts,
+            engine=self._engine,
+        )
 
     def _improve(
         self,

@@ -104,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="solver RNG seed (default 0)"
     )
     parser.add_argument(
+        "--engine",
+        choices=("auto", "bitset", "numpy"),
+        default="auto",
+        help=(
+            "propagation kernel: the machine-int bitset engine, the "
+            "vectorized numpy engine, or auto-sized per network "
+            "(default auto; results are identical either way)"
+        ),
+    )
+    parser.add_argument(
         "--sequential",
         action="store_true",
         help="run each program's schemes sequentially instead of racing",
@@ -238,6 +248,19 @@ def _resolve_programs(args: argparse.Namespace) -> list[Program]:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.engine != "auto":
+        # The env override propagates the forced engine into every
+        # racing scheme child and pool worker this process spawns.
+        # The env resolution path soft-degrades on numpy-free hosts
+        # (right for a fleet-wide knob, wrong for an explicit flag),
+        # so reject the impossible request here instead.
+        import os
+
+        from repro.csp.vectorized import ENGINE_ENV, numpy_available
+
+        if args.engine == "numpy" and not numpy_available():
+            raise SystemExit("--engine numpy requires numpy, which is not installed")
+        os.environ[ENGINE_ENV] = args.engine
     try:
         config = PortfolioConfig.parse(
             args.portfolio,

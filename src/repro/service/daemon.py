@@ -44,6 +44,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro import __version__
+from repro.csp.vectorized import numpy_available, unlink_shared
 from repro.ir.program import Program
 from repro.opt.network_builder import BuildOptions
 from repro.service import stream
@@ -76,6 +77,12 @@ class DaemonConfig:
         network_memo: per-worker bound on memoized built networks.
         save_every: persist dirty shards after this many fresh stores
             (and always on shutdown).
+        max_shared_kernels: bound on live shared-memory kernel
+            segments; beyond it the least-recently-served fingerprint's
+            segment is unlinked (workers still holding it keep their
+            mapping; the next miss republishes).  Keeps ``/dev/shm``
+            bounded on a long-lived daemon serving many distinct
+            programs.
     """
 
     workers: int = 2
@@ -86,6 +93,7 @@ class DaemonConfig:
     ttl_seconds: float | None = None
     network_memo: int = 64
     save_every: int = 64
+    max_shared_kernels: int = 64
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -102,6 +110,8 @@ class DaemonConfig:
             raise ValueError("network_memo must be positive")
         if self.save_every < 1:
             raise ValueError("save_every must be positive")
+        if self.max_shared_kernels < 1:
+            raise ValueError("max_shared_kernels must be positive")
 
 
 # -- warm worker processes ----------------------------------------------
@@ -134,15 +144,27 @@ class _BoundedMemo(OrderedDict):
 def _init_worker(
     config: PortfolioConfig, options: BuildOptions, memo_capacity: int
 ) -> None:
-    """Pool initializer: build the reusable per-process serving state."""
+    """Pool initializer: build the reusable per-process serving state.
+
+    Workers opt into shared vectorized kernels: the first worker to
+    serve a fingerprint publishes the numpy planes into a
+    shared-memory segment and its siblings attach zero-copy (the
+    daemon parent unlinks the segments it saw at shutdown).
+    """
     global _WORKER_STATE
     network_memo = _BoundedMemo(memo_capacity)
     _WORKER_STATE = {
         "solver": PortfolioSolver(
-            config, options=options, network_cache=network_memo
+            config,
+            options=options,
+            network_cache=network_memo,
+            shared_kernels=True,
         ),
         "evaluator": EvaluationService(
-            config=config, options=options, network_cache=network_memo
+            config=config,
+            options=options,
+            network_cache=network_memo,
+            shared_kernels=True,
         ),
         "networks": network_memo,
     }
@@ -151,13 +173,23 @@ def _init_worker(
 def _worker_solve(program: Program, fingerprint: str) -> dict:
     """Serve one solve miss on a warm worker."""
     result = _WORKER_STATE["solver"].optimize(program, fingerprint=fingerprint)
-    return {"result": result.to_dict(), "exact": result.exact}
+    return {
+        "result": result.to_dict(),
+        "exact": result.exact,
+        "engine": result.engine,
+        "kernel_source": result.kernel_source,
+    }
 
 
 def _worker_evaluate(request: EvaluationRequest) -> dict:
     """Serve one evaluate miss on a warm worker."""
     result = _WORKER_STATE["evaluator"].evaluate(request)
-    return {"result": result.to_dict(), "exact": result.exact}
+    return {
+        "result": result.to_dict(),
+        "exact": result.exact,
+        "engine": result.engine,
+        "kernel_source": result.kernel_source,
+    }
 
 
 def _pool_context():
@@ -213,6 +245,9 @@ class SolverDaemon:
         self._shutdown = asyncio.Event()
         self._started_at = time.time()
         self._unsaved_stores = 0
+        # Ordered set (dict keys) of fingerprints with a live shared
+        # kernel segment, least-recently-served first.
+        self._shared_segments: dict[str, None] = {}
         self.counters = {
             "requests": 0,
             "solve": 0,
@@ -220,6 +255,18 @@ class SolverDaemon:
             "cache_served": 0,
             "deduplicated": 0,
             "errors": 0,
+        }
+        #: Per-engine serving breakdown of worker-dispatched misses:
+        #: which propagation engine ran, and how each worker obtained
+        #: its vectorized kernel (shared-memory attach vs publish vs
+        #: local build).  `scripts/daemon_smoke.py` asserts on this.
+        self.engine_counters = {
+            "numpy": 0,
+            "bitset": 0,
+            "shared_attached": 0,
+            "shared_published": 0,
+            "shared_cached": 0,
+            "local": 0,
         }
 
     # -- lifecycle -------------------------------------------------------
@@ -251,12 +298,18 @@ class SolverDaemon:
             pass
 
     def close(self) -> None:
-        """Persist the cache and release the worker pool."""
+        """Persist the cache, release the pool, unlink shared kernels."""
         self.cache.save()
         self._unsaved_stores = 0
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        # The daemon owns the lifetime of every kernel segment its
+        # workers published (Linux keeps the memory mapped for any
+        # process still attached; unlinking only removes the name).
+        for fingerprint in list(self._shared_segments):
+            unlink_shared(fingerprint)
+        self._shared_segments.clear()
 
     # -- request handling ------------------------------------------------
 
@@ -316,6 +369,7 @@ class SolverDaemon:
                 "schemes": list(self._config.schemes),
                 "workers": self._daemon_config.workers,
                 "max_inflight": self._daemon_config.max_inflight,
+                "numpy": numpy_available(),
                 "shards": self.cache.shard_count
                 if hasattr(self.cache, "shard_count")
                 else 1,
@@ -323,10 +377,11 @@ class SolverDaemon:
         }
 
     def stats(self) -> dict:
-        """Serving counters plus the per-shard cache statistics."""
+        """Serving counters plus cache statistics and engine breakdown."""
         snapshot = {
             "uptime_seconds": time.time() - self._started_at,
             "counters": dict(self.counters),
+            "engines": dict(self.engine_counters),
             "cache": {
                 "entries": len(self.cache),
                 **self.cache.stats.as_dict(),
@@ -335,6 +390,28 @@ class SolverDaemon:
         if hasattr(self.cache, "shard_stats"):
             snapshot["cache"]["shards"] = self.cache.shard_stats()
         return snapshot
+
+    def _record_engine(self, fingerprint: str, data: dict) -> None:
+        """Fold one worker miss's engine telemetry into the breakdown."""
+        engine = data.get("engine")
+        if engine in ("numpy", "bitset"):
+            self.engine_counters[engine] += 1
+        source = data.get("kernel_source")
+        key = {
+            "attached": "shared_attached",
+            "published": "shared_published",
+            "cached": "shared_cached",
+            "local": "local",
+        }.get(source)
+        if key is not None:
+            self.engine_counters[key] += 1
+        if source in ("attached", "published", "cached"):
+            self._shared_segments.pop(fingerprint, None)
+            self._shared_segments[fingerprint] = None
+            while len(self._shared_segments) > self._daemon_config.max_shared_kernels:
+                oldest = next(iter(self._shared_segments))
+                del self._shared_segments[oldest]
+                unlink_shared(oldest)
 
     async def _handle_solve(self, payload: dict) -> dict:
         start = time.perf_counter()
@@ -423,6 +500,9 @@ class SolverDaemon:
             data = await loop.run_in_executor(
                 self._ensure_pool(), worker_fn, *args
             )
+            # Only the owner records: dedup twins share this payload,
+            # and one worker miss must count once in the breakdown.
+            self._record_engine(fingerprint, data)
             if data["exact"]:
                 self._store(fingerprint, token, data["result"])
             future.set_result(data)

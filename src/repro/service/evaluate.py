@@ -183,6 +183,11 @@ class EvaluationResult:
             portfolio's exactness otherwise -- best-effort answers are
             never frozen into the cache).
         from_cache: True when served from the result cache.
+        engine: the propagation engine of the embedded optimization
+            (None for cached or explicit-layout requests).  Serving
+            telemetry; not part of the wire form.
+        kernel_source: how the vectorized planes were obtained (see
+            :class:`~repro.service.portfolio.PortfolioResult`).
     """
 
     program: str
@@ -195,6 +200,8 @@ class EvaluationResult:
     seconds: float
     exact: bool = True
     from_cache: bool = False
+    engine: str | None = None
+    kernel_source: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -267,13 +274,14 @@ class EvaluationService:
         options: BuildOptions | None = None,
         cache: ResultCache | None = None,
         network_cache=None,
+        shared_kernels: bool = False,
     ):
         self._config = config if config is not None else PortfolioConfig()
         self._options = options if options is not None else BuildOptions()
         self._cache = cache
         self._solver = PortfolioSolver(
             self._config, options=self._options, cache=cache,
-            network_cache=network_cache,
+            network_cache=network_cache, shared_kernels=shared_kernels,
         )
 
     def evaluate(self, request: EvaluationRequest) -> EvaluationResult:
@@ -292,11 +300,14 @@ class EvaluationService:
         winner = None
         layouts = request.layouts
         exact = True
+        engine = kernel_source = None
         if layouts is None:
             outcome = self._solver.optimize(request.program, fingerprint=fingerprint)
             layouts = outcome.layouts
             winner = outcome.winner
             exact = outcome.exact
+            engine = outcome.engine
+            kernel_source = outcome.kernel_source
         model_kwargs: dict = {}
         if request.cost_model == "simulated":
             model_kwargs["hierarchy_config"] = request.hierarchy
@@ -327,6 +338,8 @@ class EvaluationService:
             winner=winner,
             seconds=time.perf_counter() - start,
             exact=exact,
+            engine=engine,
+            kernel_source=kernel_source,
         )
         if self._cache is not None and exact:
             self._cache.put(fingerprint, token, result.to_dict())

@@ -32,6 +32,14 @@ from typing import Callable, Hashable, Mapping
 
 from repro.csp.compiled import CompiledNetwork
 from repro.csp.stats import SolverStats
+from repro.csp.vectorized import (
+    ENGINE_AUTO,
+    ENGINE_NUMPY,
+    attach_shared,
+    ensure_shared_kernel,
+    install_vectorized,
+    resolve_engine,
+)
 from repro.csp.weighted import BranchAndBoundSolver
 from repro.ir.program import Program
 from repro.layout.layout import Layout, row_major
@@ -200,6 +208,13 @@ class PortfolioResult:
         from_cache: True when served from the result cache.
         network: the built network with provenance (None when the
             result came from the cache or crossed a process boundary).
+        engine: the propagation engine the race resolved to
+            (``"bitset"`` / ``"numpy"``; None for cached results --
+            engine choice never changes the answer, only its cost).
+        kernel_source: how the vectorized planes were obtained
+            (``"cached"`` / ``"attached"`` / ``"published"`` /
+            ``"local"``; None for the bitset engine or cached
+            results).  Serving telemetry, not part of the wire form.
     """
 
     program: str
@@ -211,6 +226,8 @@ class PortfolioResult:
     outcomes: tuple[SchemeOutcome, ...]
     from_cache: bool = False
     network: LayoutNetwork | None = None
+    engine: str | None = None
+    kernel_source: str | None = None
 
     def winner_stats(self) -> SolverStats:
         """The winning scheme's effort counters (zeros when unknown)."""
@@ -271,14 +288,26 @@ def _solve_scheme(
     kernel: CompiledNetwork,
     weights: Mapping[frozenset[str], float] | None,
     seed: int,
+    shared_key: str | None = None,
 ) -> dict:
     """Run one scheme to completion; returns a picklable payload.
 
     Every scheme runs on the *compiled* kernel: the race compiles the
     network exactly once and ships the same kernel to every worker, so
-    no scheme pays compilation (or, with ``fork``, even a copy).
+    no scheme pays compilation (or, with ``fork``, even a copy).  When
+    the parent published the vectorized planes (``shared_key``), a
+    worker that received a plane-less kernel (``spawn`` pickling)
+    attaches the shared segment instead of rebuilding them.
     """
     start = time.perf_counter()
+    if (
+        shared_key is not None
+        and getattr(kernel, "_vector_cache", None) is None
+        and resolve_engine(ENGINE_AUTO, kernel) == ENGINE_NUMPY
+    ):
+        attached = attach_shared(shared_key)
+        if attached is not None:
+            install_vectorized(kernel, attached)
     solver = _make_solver(scheme, seed)
     if isinstance(solver, BranchAndBoundSolver):
         weighted_result = solver.solve_compiled(kernel, weights)
@@ -301,10 +330,10 @@ def _solve_scheme(
     }
 
 
-def _race_worker(result_queue, scheme, kernel, weights, seed) -> None:
+def _race_worker(result_queue, scheme, kernel, weights, seed, shared_key) -> None:
     """Process entry point: solve and report (never raises)."""
     try:
-        payload = _solve_scheme(scheme, kernel, weights, seed)
+        payload = _solve_scheme(scheme, kernel, weights, seed, shared_key)
         result_queue.put((scheme, payload, None))
     except BaseException as exc:  # report, don't die silently
         result_queue.put((scheme, None, repr(exc)))
@@ -332,6 +361,13 @@ class PortfolioSolver:
             bounded mapping, so repeat cache *misses* -- non-exact
             retries, evaluate sweeps over many machine models -- skip
             the network build and reuse the already-compiled kernel.
+        shared_kernels: publish/attach the vectorized numpy planes via
+            ``multiprocessing.shared_memory`` keyed by the request
+            fingerprint, so sibling worker processes serving the same
+            network map one kernel zero-copy instead of each
+            rebuilding it.  Off by default: segment lifetime needs an
+            owner (the daemon unlinks the segments it saw at
+            shutdown), so only resident deployments should turn it on.
     """
 
     def __init__(
@@ -340,11 +376,17 @@ class PortfolioSolver:
         options: BuildOptions | None = None,
         cache: ResultCache | None = None,
         network_cache=None,
+        shared_kernels: bool = False,
     ):
         self._config = config if config is not None else PortfolioConfig()
         self._options = options if options is not None else BuildOptions()
         self._cache = cache
         self._network_cache = network_cache
+        self._shared_kernels = shared_kernels
+        #: Set per optimize() call: the fingerprint under which the
+        #: current race's vectorized kernel is published (None when
+        #: sharing is off or the bitset engine is serving).
+        self._race_shared_key: str | None = None
 
     @property
     def config(self) -> PortfolioConfig:
@@ -379,8 +421,20 @@ class PortfolioSolver:
             layout_network = build_layout_network(program, self._options)
             if self._network_cache is not None:
                 self._network_cache[fingerprint] = layout_network
+        kernel = layout_network.kernel()
+        engine = resolve_engine(ENGINE_AUTO, kernel)
+        kernel_source = None
+        self._race_shared_key = None
+        if engine == ENGINE_NUMPY and self._shared_kernels:
+            # Map (or publish) the vectorized planes in shared memory
+            # so every process serving this fingerprint -- sibling
+            # pool workers, racing scheme children -- shares one copy.
+            kernel_source = ensure_shared_kernel(kernel, fingerprint)
+            self._race_shared_key = fingerprint
+        elif engine == ENGINE_NUMPY:
+            kernel_source = "local"
         winner, exact, assignment, outcomes = self._race(
-            layout_network.kernel(), layout_network.weights
+            kernel, layout_network.weights
         )
         if assignment is None:
             # Nothing came back (all errors/timeouts): fall back to the
@@ -419,6 +473,8 @@ class PortfolioSolver:
             solve_seconds=time.perf_counter() - start,
             outcomes=outcomes,
             network=layout_network,
+            engine=engine,
+            kernel_source=kernel_source,
         )
         if self._cache is not None and result.exact:
             # Non-exact results are deadline- (and luck-) shaped: a
@@ -441,7 +497,7 @@ class PortfolioSolver:
         """
         if not self._config.parallel or len(self._config.schemes) == 1:
             return self._run_sequential(kernel, weights)
-        return self._run_parallel(kernel, weights)
+        return self._run_parallel(kernel, weights, self._race_shared_key)
 
     def _run_sequential(
         self, kernel, weights
@@ -491,7 +547,7 @@ class PortfolioSolver:
         return self._conclude(winner, fallback, outcomes)
 
     def _run_parallel(
-        self, kernel, weights
+        self, kernel, weights, shared_key=None
     ) -> tuple[str | None, bool, dict | None, tuple[SchemeOutcome, ...]]:
         context = _context()
         result_queue = context.Queue()
@@ -505,6 +561,7 @@ class PortfolioSolver:
                     kernel,
                     weights,
                     self._config.scheme_seed(index),
+                    shared_key,
                 ),
                 daemon=True,
             )

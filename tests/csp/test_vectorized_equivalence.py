@@ -1,0 +1,162 @@
+"""Property-based equivalence: numpy engine vs bitset engine.
+
+The bitset kernel (PR 2) defines the solver semantics; the vectorized
+numpy kernel is only allowed to make the same search cheaper.  Over
+random networks this suite asserts, for every solver and for AC-3,
+that the two engines agree **byte for byte**: same assignments, same
+UNSAT proofs, same pruned domains, and the same effort counters
+(nodes, backtracks, backjumps, consistency checks, restarts) -- which
+also pins the RNG streams, since a diverging stream immediately
+diverges the counters.
+
+Mirrors ``test_compiled_equivalence.py`` one tier up: that suite ties
+the bitset kernel to the legacy object semantics, this one ties the
+numpy kernel to the bitset kernel.
+"""
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csp.arc_consistency import ac3
+from repro.csp.backjumping import ConflictDirectedSolver
+from repro.csp.backtracking import BacktrackingSolver
+from repro.csp.compiled import compile_network
+from repro.csp.enhanced import EnhancedSolver, EnhancementConfig
+from repro.csp.forward_checking import ForwardCheckingSolver
+from repro.csp.minconflicts import MinConflictsSolver
+from repro.csp.random_networks import random_network
+from repro.csp.vectorized import batch_min_conflicts
+from repro.csp.weighted import BranchAndBoundSolver, WeightedNetwork
+
+#: scheme name -> (seed, engine) -> solver; every systematic scheme.
+ENGINE_SCHEMES = {
+    "base": lambda seed, engine: BacktrackingSolver(seed=seed, engine=engine),
+    "enhanced": lambda seed, engine: EnhancedSolver(seed=seed, engine=engine),
+    "cbj": lambda seed, engine: ConflictDirectedSolver(seed=seed, engine=engine),
+    "forward-checking": lambda seed, engine: ForwardCheckingSolver(
+        seed=seed, engine=engine
+    ),
+    "min-conflicts": lambda seed, engine: MinConflictsSolver(
+        seed=seed, max_steps=150, max_restarts=2, engine=engine
+    ),
+}
+
+
+@st.composite
+def small_networks(draw):
+    """Random networks spanning loose, tight, SAT and UNSAT regimes."""
+    variables = draw(st.integers(2, 6))
+    domain = draw(st.integers(2, 5))
+    density = draw(st.floats(0.2, 1.0))
+    tightness = draw(st.floats(0.0, 0.7))
+    seed = draw(st.integers(0, 10_000))
+    plant = draw(st.booleans())
+    return random_network(
+        variables, domain, density, tightness, seed=seed, plant_solution=plant
+    )
+
+
+def counters(result):
+    stats = result.stats.as_dict()
+    stats.pop("time_seconds")  # wall clock is the one legitimate delta
+    return stats
+
+
+@given(small_networks(), st.integers(0, 5))
+@settings(max_examples=40, deadline=None)
+def test_engines_agree_on_every_scheme(network, seed):
+    """Assignment, completeness and all counters match per scheme."""
+    kernel = compile_network(network)
+    for name, make in ENGINE_SCHEMES.items():
+        bitset = make(seed, "bitset").solve(kernel)
+        numpy = make(seed, "numpy").solve(kernel)
+        assert bitset.assignment == numpy.assignment, name
+        assert bitset.complete == numpy.complete, name
+        assert counters(bitset) == counters(numpy), name
+        if numpy.satisfiable:
+            assert network.is_solution(numpy.assignment), name
+
+
+@given(small_networks(), st.booleans(), st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_engines_agree_on_ordering_ablations(network, var_on, val_on):
+    """Each enhancement toggle individually takes the same decisions."""
+    kernel = compile_network(network)
+    config = EnhancementConfig(var_on, val_on, backjumping=True)
+    bitset = EnhancedSolver(config, seed=2, engine="bitset").solve(kernel)
+    numpy = EnhancedSolver(config, seed=2, engine="numpy").solve(kernel)
+    assert bitset.assignment == numpy.assignment
+    assert counters(bitset) == counters(numpy)
+
+
+@given(small_networks())
+@settings(max_examples=30, deadline=None)
+def test_engines_agree_on_ac3(network):
+    """Consistency verdict, pruned domains and revision/removal counts."""
+    kernel = compile_network(network)
+    bitset = ac3(kernel, engine="bitset")
+    numpy = ac3(kernel, engine="numpy")
+    assert bitset.consistent == numpy.consistent
+    assert bitset.domains == numpy.domains
+    assert bitset.revisions == numpy.revisions
+    assert bitset.removed == numpy.removed
+
+
+@given(small_networks())
+@settings(max_examples=25, deadline=None)
+def test_engines_agree_on_weighted_branch_and_bound(network):
+    """Optimum, exact satisfied weight (bitwise) and counters match."""
+    kernel = compile_network(network)
+    weighted = WeightedNetwork(network)
+    bitset = BranchAndBoundSolver(engine="bitset").solve(weighted)
+    numpy = BranchAndBoundSolver(engine="numpy").solve(weighted)
+    assert bitset.assignment == numpy.assignment
+    assert bitset.satisfied_weight == numpy.satisfied_weight
+    assert bitset.optimal_weight == numpy.optimal_weight
+    assert counters_weighted(bitset) == counters_weighted(numpy)
+    compiled = BranchAndBoundSolver(engine="numpy").solve_compiled(kernel)
+    reference = BranchAndBoundSolver(engine="bitset").solve_compiled(kernel)
+    assert compiled.assignment == reference.assignment
+    assert compiled.satisfied_weight == reference.satisfied_weight
+
+
+def counters_weighted(result):
+    stats = result.stats.as_dict()
+    stats.pop("time_seconds")
+    return stats
+
+
+@given(small_networks(), st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_batched_chains_match_sequential_solves(network, chain_count):
+    """Each lockstep chain is byte-identical to its standalone run."""
+    kernel = compile_network(network)
+    seeds = [7 * index + 1 for index in range(chain_count)]
+    batched = batch_min_conflicts(
+        kernel, seeds, max_steps=120, max_restarts=2, engine="numpy"
+    )
+    assert len(batched) == chain_count
+    for seed, result in zip(seeds, batched):
+        standalone = MinConflictsSolver(
+            seed=seed, max_steps=120, max_restarts=2, engine="bitset"
+        ).solve(kernel)
+        assert result.assignment == standalone.assignment
+        assert result.complete == standalone.complete
+        assert counters(result) == counters(standalone)
+        if result.satisfiable:
+            assert network.is_solution(result.assignment)
+
+
+@given(small_networks())
+@settings(max_examples=15, deadline=None)
+def test_auto_engine_matches_both_explicit_engines(network):
+    """``auto`` may pick either engine; the answer must not depend on it."""
+    kernel = compile_network(network)
+    auto = EnhancedSolver(seed=5, engine="auto").solve(kernel)
+    bitset = EnhancedSolver(seed=5, engine="bitset").solve(kernel)
+    assert auto.assignment == bitset.assignment
+    assert counters(auto) == counters(bitset)

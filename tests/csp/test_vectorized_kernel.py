@@ -1,0 +1,296 @@
+"""Unit tests of the vectorized kernel: planes, sharing, resolution.
+
+The byte-for-byte solver equivalence lives in
+``test_vectorized_equivalence.py``; this module covers the kernel
+mechanics themselves -- plane construction, engine resolution rules,
+shared-memory publish/attach, pickle hygiene -- plus the AC-3
+pending-set regression and the ``iter_bits`` chunked extraction.
+"""
+
+import pickle
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.bench import benchmark_build_options, build_benchmark
+from repro.csp.arc_consistency import ac3
+from repro.csp.compiled import compile_network, iter_bits
+from repro.csp.network import ConstraintNetwork
+from repro.csp.random_networks import random_network
+from repro.csp import vectorized
+from repro.csp.vectorized import (
+    AUTO_MIN_SUPPORT_CELLS,
+    ENGINE_ENV,
+    as_vectorized,
+    attach_shared,
+    batch_min_conflicts,
+    build_vectorized,
+    ensure_shared_kernel,
+    export_shared,
+    resolve_engine,
+    shared_segment_name,
+    support_cells,
+    unlink_shared,
+)
+from repro.opt.network_builder import build_layout_network
+
+
+@pytest.fixture
+def kernel():
+    return compile_network(
+        random_network(5, 4, density=0.9, tightness=0.4, seed=11)
+    )
+
+
+@pytest.fixture
+def table1_kernel():
+    program = build_benchmark("Med-Im04")
+    return build_layout_network(program, benchmark_build_options()).kernel()
+
+
+# -- plane construction ---------------------------------------------------
+
+
+def test_planes_reproduce_every_support_bit(kernel):
+    vec = build_vectorized(kernel)
+    for (i, j), masks in kernel.supports.items():
+        slot = vec.slot_of[(i, j)]
+        matrix = vec.support_matrix(i, slot)
+        for a, mask in enumerate(masks):
+            for b in range(kernel.domain_size(j)):
+                assert bool(matrix[a, b]) == kernel.allows(i, a, j, b)
+    # Padded tensor slots beyond the real degree stay all-False.
+    for v in range(vec.variable_count):
+        for d in range(vec.degree_list[v], vec.max_degree):
+            assert not vec.support_tensor[v, d].any()
+
+
+def test_lcv_counts_are_support_popcounts(kernel):
+    vec = build_vectorized(kernel)
+    for (i, j), masks in kernel.supports.items():
+        slot = vec.slot_of[(i, j)]
+        for a, mask in enumerate(masks):
+            assert vec.lcv_counts[i, slot, a] == mask.bit_count()
+
+
+def test_as_vectorized_caches_on_the_kernel(kernel):
+    first = as_vectorized(kernel)
+    assert as_vectorized(kernel) is first
+
+
+def test_empty_network_builds_and_solves():
+    kernel = compile_network(ConstraintNetwork())
+    vec = build_vectorized(kernel)
+    assert vec.variable_count == 0
+    results = batch_min_conflicts(kernel, [3], max_steps=5, engine="numpy")
+    assert results[0].assignment == {}
+
+
+# -- engine resolution ----------------------------------------------------
+
+
+def test_resolve_engine_rejects_unknown_spec(kernel):
+    with pytest.raises(ValueError):
+        resolve_engine("gpu", kernel)
+
+
+def test_resolve_engine_explicit_choices(kernel):
+    assert resolve_engine("bitset", kernel) == "bitset"
+    assert resolve_engine("numpy", kernel) == "numpy"
+
+
+def test_resolve_engine_auto_uses_size_threshold(
+    kernel, table1_kernel, monkeypatch
+):
+    monkeypatch.delenv(ENGINE_ENV, raising=False)
+    tiny = compile_network(random_network(2, 2, 0.5, 0.3, seed=1))
+    assert support_cells(tiny) < AUTO_MIN_SUPPORT_CELLS
+    assert resolve_engine("auto", tiny) == "bitset"
+    assert support_cells(table1_kernel) >= AUTO_MIN_SUPPORT_CELLS
+    assert resolve_engine("auto", table1_kernel) == "numpy"
+
+
+def test_resolve_engine_env_override(kernel, monkeypatch):
+    monkeypatch.setenv(ENGINE_ENV, "bitset")
+    assert resolve_engine("auto", kernel) == "bitset"
+    monkeypatch.setenv(ENGINE_ENV, "numpy")
+    assert resolve_engine("auto", kernel) == "numpy"
+    # The explicit argument is not overridden by the environment.
+    assert resolve_engine("bitset", kernel) == "bitset"
+
+
+def test_resolve_engine_without_numpy(kernel, monkeypatch):
+    monkeypatch.setattr(vectorized, "np", None)
+    assert resolve_engine("auto", kernel) == "bitset"
+    with pytest.raises(RuntimeError):
+        resolve_engine("numpy", kernel)
+    # The env override degrades instead of raising.
+    monkeypatch.setenv(ENGINE_ENV, "numpy")
+    assert resolve_engine("auto", kernel) == "bitset"
+
+
+# -- pickling -------------------------------------------------------------
+
+
+def test_kernel_pickle_excludes_vectorized_planes(kernel):
+    as_vectorized(kernel)
+    assert getattr(kernel, "_vector_cache", None) is not None
+    clone = pickle.loads(pickle.dumps(kernel))
+    assert getattr(clone, "_vector_cache", None) is None
+    assert clone.names == kernel.names
+    assert clone.supports == kernel.supports
+    # And the slim pickle stays slim: planes are bigger than the rest.
+    assert len(pickle.dumps(kernel)) < as_vectorized(kernel).nbytes + 20_000
+
+
+# -- shared-memory sharing ------------------------------------------------
+
+
+def test_shared_export_attach_round_trip(kernel):
+    key = "test-rt-fp"
+    unlink_shared(key)
+    vec = as_vectorized(kernel)
+    try:
+        name = export_shared(vec, key)
+        assert name == shared_segment_name(key)
+        attached = attach_shared(key)
+        assert attached is not None
+        assert attached.shared
+        for plane, array in vec.planes().items():
+            np.testing.assert_array_equal(array, getattr(attached, plane))
+            assert not getattr(attached, plane).flags.writeable
+        # Second export loses the create race and reports so.
+        assert export_shared(vec, key) is None
+    finally:
+        assert unlink_shared(key)
+    assert attach_shared(key) is None
+
+
+def test_attach_rejects_wrong_key(kernel):
+    key = "test-key-a"
+    unlink_shared(key)
+    try:
+        export_shared(as_vectorized(kernel), key)
+        assert attach_shared("test-key-b") is None
+    finally:
+        unlink_shared(key)
+
+
+def test_ensure_shared_kernel_sources(kernel):
+    key = "test-ensure-fp"
+    unlink_shared(key)
+    try:
+        # First call publishes (planes not yet cached on a twin).
+        twin = pickle.loads(pickle.dumps(kernel))
+        assert ensure_shared_kernel(twin, key) == "published"
+        # A kernel that already has planes does nothing.
+        assert ensure_shared_kernel(twin, key) == "cached"
+        # A fresh process-local twin attaches the published planes.
+        other = pickle.loads(pickle.dumps(kernel))
+        assert ensure_shared_kernel(other, key) == "attached"
+        assert other._vector_cache.shared
+    finally:
+        unlink_shared(key)
+
+
+def test_ensure_shared_kernel_reclaims_stale_segment(kernel):
+    """A publisher killed mid-write must not wedge its fingerprint."""
+    from multiprocessing import shared_memory
+
+    key = "test-stale-fp"
+    unlink_shared(key)
+    # Simulate a dead publisher: a named segment whose magic header
+    # never arrives (all zeroes).
+    stale = shared_memory.SharedMemory(
+        name=shared_segment_name(key), create=True, size=4096
+    )
+    vectorized._untrack(stale)  # the reclaim below owns the unlink
+    stale.close()
+    try:
+        assert attach_shared(key, timeout=0.0) is None
+        twin = pickle.loads(pickle.dumps(kernel))
+        assert ensure_shared_kernel(twin, key) == "published"
+        other = pickle.loads(pickle.dumps(kernel))
+        assert ensure_shared_kernel(other, key) == "attached"
+    finally:
+        unlink_shared(key)
+
+
+def test_shared_attached_kernel_solves_identically(kernel):
+    key = "test-solve-fp"
+    unlink_shared(key)
+    try:
+        ensure_shared_kernel(kernel, key)
+        twin = pickle.loads(pickle.dumps(kernel))
+        assert ensure_shared_kernel(twin, key) == "attached"
+        local = batch_min_conflicts(kernel, [1, 2], max_steps=60, engine="numpy")
+        shared = batch_min_conflicts(twin, [1, 2], max_steps=60, engine="numpy")
+        for mine, theirs in zip(local, shared):
+            assert mine.assignment == theirs.assignment
+            assert mine.stats.nodes == theirs.stats.nodes
+    finally:
+        unlink_shared(key)
+
+
+# -- AC-3 pending-set regression (Table 1 network) ------------------------
+
+
+def _ac3_with_duplicate_queue(kernel):
+    """The pre-fix AC-3 loop: arcs re-enqueued while already pending."""
+    from collections import deque
+
+    masks = list(kernel.full_masks)
+    queue = deque()
+    for first, second in kernel.pairs:
+        queue.append((first, second))
+        queue.append((second, first))
+    revisions = 0
+    while queue:
+        target, source = queue.popleft()
+        revisions += 1
+        support = kernel.supports[(target, source)]
+        source_mask = masks[source]
+        surviving = masks[target]
+        pruned_here = False
+        for value in iter_bits(masks[target]):
+            if not support[value] & source_mask:
+                surviving ^= 1 << value
+                pruned_here = True
+        masks[target] = surviving
+        if not surviving:
+            return revisions, masks, False
+        if pruned_here:
+            for neighbor in kernel.neighbors[target]:
+                if neighbor != source:
+                    queue.append((neighbor, target))
+    return revisions, masks, True
+
+
+def test_ac3_pending_set_cuts_revisions_on_table1_network(table1_kernel):
+    duplicated_revisions, masks, consistent = _ac3_with_duplicate_queue(
+        table1_kernel
+    )
+    result = ac3(table1_kernel, engine="bitset")
+    assert result.consistent == consistent
+    # Same fixpoint...
+    for i in range(table1_kernel.variable_count):
+        expected = tuple(
+            table1_kernel.domains[i][value] for value in iter_bits(masks[i])
+        )
+        assert result.domains[table1_kernel.names[i]] == expected
+    # ...for strictly fewer revisions than the duplicating queue.
+    assert result.revisions < duplicated_revisions
+
+
+# -- iter_bits ------------------------------------------------------------
+
+
+def test_iter_bits_handles_wide_sparse_masks():
+    positions = [0, 1, 62, 63, 64, 65, 126, 200, 1000, 4095]
+    mask = sum(1 << p for p in positions)
+    assert list(iter_bits(mask)) == positions
+    assert list(iter_bits(0)) == []
+    assert list(iter_bits(1)) == [0]
+    dense = (1 << 300) - 1
+    assert list(iter_bits(dense)) == list(range(300))
