@@ -52,6 +52,12 @@ MC_RESTARTS = 2
 GATE = os.environ.get("REPRO_BENCH_KERNEL_GATE", "1") != "0"
 REQUIRED_SPEEDUP = 3.0
 
+#: Observability overhead gate: the traced mix may cost at most 3%
+#: over the untraced mix (``REPRO_BENCH_OBS_GATE=0`` reports without
+#: failing -- shared CI runners time unreliably).
+OBS_GATE = os.environ.get("REPRO_BENCH_OBS_GATE", "1") != "0"
+OBS_MAX_OVERHEAD = 0.03
+
 _runs: dict[str, dict] = {}
 
 
@@ -173,4 +179,68 @@ def test_parity_and_speedup(benchmark):
         assert speedup >= REQUIRED_SPEEDUP, (
             f"numpy engine is {speedup:.2f}x the bitset engine; "
             f"the vectorized kernel must deliver >= {REQUIRED_SPEEDUP}x"
+        )
+
+
+def test_observability_overhead(benchmark, networks):
+    """Tracing costs <= 3% on the mix; the disabled API writes nothing.
+
+    Deliberately independent of ``_runs`` (the engine benchmarks above
+    own that): this test times its own suite pair, once with the
+    ambient observability APIs disabled (the default) and once inside a
+    worker-style :func:`repro.obs.capture`, and gates the ratio.
+    """
+    from repro.obs import capture
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    # The no-op claim is deterministic, not a timing claim: disabled,
+    # the ambient APIs hand back shared singletons and write nothing.
+    assert not obs_trace.enabled() and not obs_metrics.enabled()
+    assert obs_trace.span("anything") is obs_trace.span("else")
+    before = obs_metrics.get_registry().snapshot()
+    obs_metrics.counter("bench_noop_total")
+    obs_metrics.observe("bench_noop_seconds", 1.0)
+    assert obs_metrics.get_registry().snapshot() == before
+
+    kernels = {name: networks[name].kernel() for name in BENCHMARK_NAMES}
+    for kernel in kernels.values():
+        as_vectorized(kernel)
+
+    def suite() -> None:
+        for kernel in kernels.values():
+            _run_mix(kernel, "numpy")
+
+    def traced_suite():
+        with capture("bench_overhead") as captured:
+            suite()
+        return captured
+
+    suite()  # warm-up both paths before timing
+    captured = traced_suite()
+    assert captured.root.children, "tracing recorded no spans"
+    assert captured.registry.snapshot()["metrics"], "no metrics captured"
+
+    plain_runs, traced_runs = [], []
+    for _ in range(3):  # interleaved min-of-3: robust to ambient load
+        start = time.perf_counter()
+        suite()
+        plain_runs.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        traced_suite()
+        traced_runs.append(time.perf_counter() - start)
+    overhead = min(traced_runs) / min(plain_runs) - 1.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {"obs_overhead_fraction": overhead, "gated": OBS_GATE}
+    )
+    print(
+        f"\nobservability overhead: untraced {min(plain_runs):.3f}s, "
+        f"traced {min(traced_runs):.3f}s -> {overhead * 100:+.2f}% "
+        f"(gate {'<= %.0f%%' % (OBS_MAX_OVERHEAD * 100) if OBS_GATE else 'off'})"
+    )
+    if OBS_GATE:
+        assert overhead <= OBS_MAX_OVERHEAD, (
+            f"observability adds {overhead * 100:.2f}% to the traced mix; "
+            f"the budget is {OBS_MAX_OVERHEAD * 100:.0f}%"
         )

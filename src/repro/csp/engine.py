@@ -44,6 +44,37 @@ from repro.csp.vectorized import (
     as_vectorized,
     resolve_engine,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import EFFORT_BUCKETS
+
+
+def record_solver_effort(engine: str, scheme: str, stats: SolverStats) -> None:
+    """Fold one finished solve's effort counters into the metrics layer.
+
+    Shared by every solver entry point (systematic engine,
+    min-conflicts, branch & bound).  Effort histograms carry the
+    paper's machine-independent counters, bucketed per engine, so a
+    fleet can compare instance hardness without comparing clocks.
+    Callers gate on :func:`repro.obs.metrics.enabled` themselves to
+    keep the disabled path at one branch.
+    """
+    labels = {"engine": engine, "scheme": scheme}
+    obs_metrics.counter(
+        "repro_solver_solves_total",
+        labels=labels,
+        help="Completed solver runs by engine and scheme.",
+    )
+    for counter_name in ("nodes", "consistency_checks"):
+        effort = getattr(stats, counter_name)
+        if effort:
+            obs_metrics.observe(
+                "repro_solver_effort",
+                float(effort),
+                labels={"engine": engine, "counter": counter_name},
+                help="Machine-independent per-solve effort, by engine.",
+                bounds=EFFORT_BUCKETS,
+            )
 
 #: Jump rule names accepted by the engine.
 JUMP_CHRONOLOGICAL = "chronological"
@@ -173,16 +204,24 @@ class SearchEngine:
             self._config.variable_ordering or self._config.value_ordering
         ) and resolve_engine(self._config.engine, kernel) == ENGINE_NUMPY:
             vec = _VecOrderings(as_vectorized(kernel))
-        with Stopwatch(stats):
-            values: list[int | None] = [None] * kernel.variable_count
-            depth_of = [0] * kernel.variable_count
-            try:
-                solution, _, _ = self._search(
-                    kernel, values, 0, depth_of, rng, stats, vec
-                )
-            except _NodeBudgetExhausted:
-                solution = None
-                complete = False
+        with obs_trace.span("csp_search", jump_mode=self._config.jump_mode) as sp:
+            with Stopwatch(stats):
+                values: list[int | None] = [None] * kernel.variable_count
+                depth_of = [0] * kernel.variable_count
+                try:
+                    solution, _, _ = self._search(
+                        kernel, values, 0, depth_of, rng, stats, vec
+                    )
+                except _NodeBudgetExhausted:
+                    solution = None
+                    complete = False
+        sp.set_attribute("nodes", stats.nodes)
+        if obs_metrics.enabled():
+            record_solver_effort(
+                resolve_engine(self._config.engine, kernel),
+                self._config.jump_mode,
+                stats,
+            )
         return SolverResult(solution, stats, complete=complete)
 
     # -- search ---------------------------------------------------------

@@ -28,6 +28,7 @@ from __future__ import annotations
 import random
 
 from repro.csp.compiled import CompiledNetwork, as_compiled
+from repro.csp.engine import record_solver_effort
 from repro.csp.network import ConstraintNetwork
 from repro.csp.stats import SolverResult, SolverStats, Stopwatch
 from repro.csp.vectorized import (
@@ -36,6 +37,8 @@ from repro.csp.vectorized import (
     batch_min_conflicts,
     resolve_engine,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 
 class MinConflictsSolver:
@@ -60,7 +63,17 @@ class MinConflictsSolver:
     def solve(self, network: ConstraintNetwork | CompiledNetwork) -> SolverResult:
         """Search for a solution; gives up after the step/restart budget."""
         kernel = as_compiled(network)
-        if resolve_engine(self._engine, kernel) == ENGINE_NUMPY:
+        engine = resolve_engine(self._engine, kernel)
+        with obs_trace.span("min_conflicts", engine=engine):
+            result = self._solve_resolved(kernel, engine)
+        if obs_metrics.enabled():
+            record_solver_effort(engine, "min-conflicts", result.stats)
+        return result
+
+    def _solve_resolved(
+        self, kernel: CompiledNetwork, engine: str
+    ) -> SolverResult:
+        if engine == ENGINE_NUMPY:
             return batch_min_conflicts(
                 kernel,
                 [self._seed],

@@ -801,6 +801,14 @@ def ensure_shared_kernel(kernel: CompiledNetwork, key: str) -> str:
     # attach timeout: its publisher died mid-write (e.g. OOM-killed).
     # Reclaim the name so the fingerprint isn't wedged into local
     # rebuilds (plus a poll stall) for the rest of the deployment.
-    if unlink_shared(key) and export_shared(vectorized, key) is not None:
-        return "published"
+    if unlink_shared(key):
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.counter(
+            "repro_shared_kernel_events_total",
+            labels={"event": "reclaimed"},
+            help="Vectorized-kernel acquisition events by kind.",
+        )
+        if export_shared(vectorized, key) is not None:
+            return "published"
     return "local"

@@ -1,0 +1,89 @@
+"""Observability layer: span tracing, mergeable metrics, exposition.
+
+Three modules, one contract:
+
+* :mod:`repro.obs.trace` -- span trees over ``perf_counter_ns`` with a
+  contextvar current-span and an explicit no-op mode (one branch when
+  disabled).
+* :mod:`repro.obs.metrics` -- process-local counter/gauge/histogram
+  registry whose snapshots merge by summation (associative and
+  commutative, so worker completion order never matters).
+* :mod:`repro.obs.export` -- Prometheus text exposition, a JSON-lines
+  trace sink, and a JSON log formatter for the service CLI.
+
+:func:`capture` bundles the worker side of the cross-process story:
+run the solve inside it, then ship ``telemetry()`` back piggybacked on
+the result for the daemon to merge.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs import metrics, trace
+from repro.obs.export import (
+    CONTENT_TYPE,
+    JsonLogFormatter,
+    TraceJsonWriter,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    EFFORT_BUCKETS,
+    MetricsRegistry,
+    merge_snapshot,
+)
+from repro.obs.trace import NOOP_SPAN, Span, recording, span, span_from_dict
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EFFORT_BUCKETS",
+    "JsonLogFormatter",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "TraceJsonWriter",
+    "capture",
+    "merge_snapshot",
+    "metrics",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "recording",
+    "span",
+    "span_from_dict",
+    "trace",
+]
+
+
+class Capture:
+    """The telemetry a worker accumulated for one request."""
+
+    __slots__ = ("root", "registry")
+
+    def __init__(self, root: Span, registry: MetricsRegistry):
+        self.root = root
+        self.registry = registry
+
+    def telemetry(self) -> dict:
+        """The piggyback payload: one span tree + one metrics delta."""
+        return {
+            "spans": [self.root.to_dict()],
+            "metrics": self.registry.snapshot(),
+        }
+
+
+@contextmanager
+def capture(root_name: str, **attributes):
+    """Record one unit of work's spans and metric deltas together.
+
+    The pool-worker entry point: wraps :func:`trace.recording` and
+    :func:`metrics.collecting` so everything the ambient APIs record
+    inside the block lands in one :class:`Capture`, ready to ship back
+    across the process boundary.  Single-threaded processes only (the
+    enable flags are process-global).
+    """
+    with trace.recording(root_name, **attributes) as root:
+        with metrics.collecting() as registry:
+            yield Capture(root, registry)

@@ -1,0 +1,266 @@
+"""Exposition surfaces: Prometheus text, JSON-lines traces, JSON logs.
+
+``prometheus_text`` renders a :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot in the text exposition format (version 0.0.4): ``# HELP`` /
+``# TYPE`` headers, escaped label values, cumulative ``le`` histogram
+buckets ending in ``+Inf``, and ``_sum`` / ``_count`` series.
+``parse_prometheus_text`` is the minimal inverse used by tests and the
+CI smoke to assert the output actually parses.
+
+``TraceJsonWriter`` tees span trees to a JSON-lines file (the
+``--trace-log`` CLI flag); one request's full tree per line, flushed
+eagerly so a crashed daemon still leaves complete lines behind.
+
+``JsonLogFormatter`` backs the service CLI's ``--log-json`` mode: one
+JSON object per line with ts/level/logger/message, plus whatever
+extras (fingerprint, request id) the log call attached.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import time
+from typing import IO, Mapping
+
+__all__ = [
+    "CONTENT_TYPE",
+    "JsonLogFormatter",
+    "TraceJsonWriter",
+    "parse_prometheus_text",
+    "prometheus_text",
+]
+
+#: The content type Prometheus scrapers expect for this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _labels_text(label_items) -> str:
+    if not label_items:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in label_items
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _bound_text(bound: float) -> str:
+    return "+Inf" if bound == math.inf else _format_value(float(bound))
+
+
+def prometheus_text(snapshot: Mapping) -> str:
+    """Render a registry snapshot as Prometheus text exposition."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for entry in snapshot.get("metrics", ()):
+        name = entry["name"]
+        kind = entry["kind"]
+        if name not in seen_headers:
+            seen_headers.add(name)
+            help_text = entry.get("help") or ""
+            if help_text:
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {kind}")
+        labels = [tuple(pair) for pair in entry.get("labels", ())]
+        if kind in ("counter", "gauge"):
+            lines.append(
+                f"{name}{_labels_text(labels)} "
+                f"{_format_value(entry['value'])}"
+            )
+        elif kind == "histogram":
+            # Bucket counts are cumulative by construction
+            # (Histogram.observe increments every bucket the value
+            # fits under), matching the `le` semantics directly.
+            for bound, count in zip(entry["bounds"], entry["buckets"]):
+                bucket_labels = labels + [("le", _bound_text(bound))]
+                lines.append(
+                    f"{name}_bucket{_labels_text(bucket_labels)} {count}"
+                )
+            inf_labels = labels + [("le", "+Inf")]
+            lines.append(
+                f"{name}_bucket{_labels_text(inf_labels)} {entry['count']}"
+            )
+            lines.append(
+                f"{name}_sum{_labels_text(labels)} "
+                f"{_format_value(entry['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_labels_text(labels)} {entry['count']}"
+            )
+        else:
+            raise ValueError(f"unknown metric kind {kind!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_labels(text: str) -> dict:
+    """Parse the ``{k="v",...}`` part of a sample line."""
+    labels: dict = {}
+    index = 0
+    while index < len(text):
+        equals = text.index("=", index)
+        key = text[index:equals].strip().lstrip(",").strip()
+        if text[equals + 1] != '"':
+            raise ValueError(f"unquoted label value in {text!r}")
+        cursor = equals + 2
+        value_chars: list[str] = []
+        while True:
+            char = text[cursor]
+            if char == "\\":
+                escape = text[cursor + 1]
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(escape, escape)
+                )
+                cursor += 2
+            elif char == '"':
+                cursor += 1
+                break
+            else:
+                value_chars.append(char)
+                cursor += 1
+        labels[key] = "".join(value_chars)
+        index = cursor
+        while index < len(text) and text[index] in ", ":
+            index += 1
+    return labels
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse exposition text back into ``{"types": ..., "samples": ...}``.
+
+    ``types`` maps metric name to declared type; ``samples`` is a list
+    of ``(series name, labels dict, float value)`` tuples.  Minimal by
+    design -- enough for round-trip tests and smoke assertions, not a
+    general scraper.
+
+    Raises:
+        ValueError: on any line that is not valid exposition format.
+    """
+    types: dict = {}
+    helps: dict = {}
+    samples: list = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"bad TYPE line: {raw_line!r}")
+            types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = help_text
+            continue
+        if line.startswith("#"):
+            continue
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rindex("}")
+            series = line[:brace]
+            labels = _parse_labels(line[brace + 1 : close])
+            value_text = line[close + 1 :].strip()
+        else:
+            series, _, value_text = line.partition(" ")
+            labels = {}
+            value_text = value_text.strip()
+        if not series or not value_text:
+            raise ValueError(f"bad sample line: {raw_line!r}")
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_text)
+        samples.append((series, labels, value))
+    return {"types": types, "helps": helps, "samples": samples}
+
+
+class TraceJsonWriter:
+    """Tees span trees to a JSON-lines file (``--trace-log``).
+
+    One complete tree per line, flushed per write: a killed daemon
+    leaves a prefix of complete lines, never a torn one.
+    """
+
+    def __init__(self, path_or_stream):
+        if hasattr(path_or_stream, "write"):
+            self._stream: IO = path_or_stream
+            self._owns_stream = False
+        else:
+            self._stream = open(path_or_stream, "a", encoding="utf-8")
+            self._owns_stream = True
+
+    def write(self, tree: Mapping) -> None:
+        self._stream.write(json.dumps(tree, sort_keys=True) + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "TraceJsonWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per log line: ts/level/logger/message + extras.
+
+    Extras are whatever the log call passed via ``extra=``; the daemon
+    attaches ``fingerprint`` and ``request_id`` where it has them so
+    production logs are greppable per request.
+    """
+
+    #: LogRecord attributes that are plumbing, not payload.
+    _STANDARD = frozenset(
+        logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+    ) | {"message", "asctime", "taskName"}
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            entry["exc_info"] = self.formatException(record.exc_info)
+        for key, value in record.__dict__.items():
+            if key not in self._STANDARD and not key.startswith("_"):
+                try:
+                    json.dumps(value)
+                except (TypeError, ValueError):
+                    value = repr(value)
+                entry[key] = value
+        return json.dumps(entry, sort_keys=True)
+
+
+def _utc_ts() -> float:  # pragma: no cover - trivial indirection
+    return time.time()

@@ -31,6 +31,8 @@ from repro.ir.program import Program
 from repro.layout.candidates import nest_layout_combos
 from repro.layout.layout import Layout, row_major
 from repro.layout.locality import access_delta, has_spatial_locality, has_temporal_locality
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.opt.network_builder import BuildOptions, LayoutNetwork, build_layout_network
 from repro.transform.catalog import legal_transforms
 from repro.transform.unimodular_loop import LoopTransform
@@ -205,30 +207,37 @@ class LayoutOptimizer:
                 outcome = self._apply_refinement(program, outcome)
             return outcome
         start = time.perf_counter()
-        layout_network = build_layout_network(program, self._options)
-        kernel = layout_network.kernel()
-        if isinstance(self._solver, BranchAndBoundSolver):
-            # First-class weighted scheme: solve the weighted network
-            # directly -- exact iff the hard network is satisfiable.
-            weighted_result = self._solver.solve_compiled(
-                kernel, layout_network.weights
-            )
-            assignment = dict(weighted_result.assignment)
-            stats = weighted_result.stats
-            exact = weighted_result.fully_satisfied
-        else:
-            result = self._solver.solve(kernel)
-            exact = result.assignment is not None
-            if exact:
-                assignment = dict(result.assignment)
-                stats = result.stats
-            else:
-                weighted_result = BranchAndBoundSolver().solve_compiled(
+        with obs_trace.span("build_network"):
+            layout_network = build_layout_network(program, self._options)
+            kernel = layout_network.kernel()
+        with obs_trace.span("solve", scheme=self._scheme_name):
+            if isinstance(self._solver, BranchAndBoundSolver):
+                # First-class weighted scheme: solve the weighted network
+                # directly -- exact iff the hard network is satisfiable.
+                weighted_result = self._solver.solve_compiled(
                     kernel, layout_network.weights
                 )
                 assignment = dict(weighted_result.assignment)
                 stats = weighted_result.stats
                 exact = weighted_result.fully_satisfied
+            else:
+                result = self._solver.solve(kernel)
+                exact = result.assignment is not None
+                if exact:
+                    assignment = dict(result.assignment)
+                    stats = result.stats
+                else:
+                    weighted_result = BranchAndBoundSolver().solve_compiled(
+                        kernel, layout_network.weights
+                    )
+                    assignment = dict(weighted_result.assignment)
+                    stats = weighted_result.stats
+                    exact = weighted_result.fully_satisfied
+        obs_metrics.counter(
+            "repro_optimizer_solves_total",
+            labels={"scheme": self._scheme_name, "exact": str(exact).lower()},
+            help="Direct (non-portfolio) optimizer solves by scheme.",
+        )
         if exact:
             repair_inflation(layout_network.network, assignment, program)
         elapsed = time.perf_counter() - start
@@ -272,39 +281,41 @@ class LayoutOptimizer:
         model = self._refine
         analytic = model if model.name == "analytic" else AnalyticCostModel()
 
-        pool: list[tuple[str, dict[str, Layout]]] = [
-            ("search", dict(outcome.layouts))
-        ]
-        seen = {_layout_key(outcome.layouts)}
-        for index, assignment in enumerate(
-            enumerate_solutions(outcome.network.kernel(), self._refine_top_k)
-        ):
-            layouts = {
-                decl.name: assignment.get(decl.name, row_major(decl.rank))
-                for decl in program.arrays
-            }
-            key = _layout_key(layouts)
-            if key in seen:
-                continue
-            seen.add(key)
-            pool.append((f"solution-{index + 1}", layouts))
+        with obs_trace.span("refine", model=model.name) as refine_span:
+            pool: list[tuple[str, dict[str, Layout]]] = [
+                ("search", dict(outcome.layouts))
+            ]
+            seen = {_layout_key(outcome.layouts)}
+            for index, assignment in enumerate(
+                enumerate_solutions(outcome.network.kernel(), self._refine_top_k)
+            ):
+                layouts = {
+                    decl.name: assignment.get(decl.name, row_major(decl.rank))
+                    for decl in program.arrays
+                }
+                key = _layout_key(layouts)
+                if key in seen:
+                    continue
+                seen.add(key)
+                pool.append((f"solution-{index + 1}", layouts))
+            refine_span.set_attribute("candidates", len(pool))
 
-        scored = []
-        for label, layouts in pool:
-            transforms = select_transforms(
-                program,
-                layouts,
-                self._options.include_reversals,
-                self._options.skew_factors,
-            )
-            cost = model.score(program, layouts, transforms)
-            if analytic is model:
-                analytic_value = cost.value
-            else:
-                analytic_value = analytic.score(
-                    program, layouts, transforms
-                ).value
-            scored.append((label, layouts, analytic_value, cost))
+            scored = []
+            for label, layouts in pool:
+                transforms = select_transforms(
+                    program,
+                    layouts,
+                    self._options.include_reversals,
+                    self._options.skew_factors,
+                )
+                cost = model.score(program, layouts, transforms)
+                if analytic is model:
+                    analytic_value = cost.value
+                else:
+                    analytic_value = analytic.score(
+                        program, layouts, transforms
+                    ).value
+                scored.append((label, layouts, analytic_value, cost))
 
         best = min(range(len(scored)), key=lambda i: scored[i][3].value)
         agreement = kendall_tau(
@@ -521,6 +532,16 @@ def select_transforms(
     ~1/8 of the accesses) to temporal (same element every iteration).
     Ties prefer the identity (no restructuring without benefit).
     """
+    with obs_trace.span("transform_selection"):
+        return _select_transforms(program, layouts, include_reversals, skew_factors)
+
+
+def _select_transforms(
+    program: Program,
+    layouts: Mapping[str, Layout],
+    include_reversals: bool,
+    skew_factors: tuple[int, ...],
+) -> dict[str, LoopTransform]:
     chosen: dict[str, LoopTransform] = {}
     for nest in program.nests:
         order = nest.index_order

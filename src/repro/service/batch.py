@@ -71,18 +71,35 @@ class BatchReport:
         return len(self.results) / max(self.wall_seconds, self.MIN_WALL_SECONDS)
 
     def latencies(self) -> list[float]:
-        """Per-program solve latencies (non-negative), sorted ascending."""
-        return sorted(max(result.solve_seconds, 0.0) for result in self.results)
+        """Per-program solve latencies (non-negative), sorted ascending.
+
+        Sorted once, lazily, on first use (``format()`` asks for three
+        percentiles of the same batch); callers get a copy so mutating
+        the returned list cannot corrupt later percentile queries.
+        """
+        return list(self._sorted_latencies())
+
+    def _sorted_latencies(self) -> list[float]:
+        cached = getattr(self, "_latency_cache", None)
+        if cached is None or len(cached) != len(self.results):
+            cached = sorted(
+                max(result.solve_seconds, 0.0) for result in self.results
+            )
+            self._latency_cache = cached
+        return cached
 
     def latency_percentile(self, fraction: float) -> float:
         """The given latency percentile (0.0 on an empty batch).
+
+        ``fraction=0.0`` is the minimum, ``fraction=1.0`` the maximum
+        (a single-item batch answers that item for every fraction).
 
         Raises:
             ValueError: when ``fraction`` is outside [0, 1].
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("percentile fraction must be within [0, 1]")
-        latencies = self.latencies()
+        latencies = self._sorted_latencies()
         if not latencies:
             return 0.0
         index = min(int(fraction * len(latencies)), len(latencies) - 1)

@@ -58,6 +58,9 @@ class CacheStats:
         stores: values inserted (including overwrites).
         evictions: entries dropped to respect the capacity bound.
         expirations: entries dropped because their TTL elapsed.
+        saves: persistence passes that wrote the cache file.
+        merge_saves: the subset of saves that folded the file's
+            current contents back in under the advisory lock first.
     """
 
     hits: int = 0
@@ -65,6 +68,8 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     expirations: int = 0
+    saves: int = 0
+    merge_saves: int = 0
 
     @property
     def lookups(self) -> int:
@@ -294,9 +299,11 @@ class ResultCache:
         """
         if self._path is None:
             return
+        self.stats.saves += 1
         if not merge:
             self._write_file(dict(self._entries))
             return
+        self.stats.merge_saves += 1
         with _save_lock(self._path):
             merged: OrderedDict[str, dict] = OrderedDict()
             stored_at: dict[str, float] = {}

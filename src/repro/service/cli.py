@@ -24,6 +24,8 @@ daemon with ``--connect /tmp/repro.sock``.
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 from typing import Sequence
 
@@ -219,7 +221,55 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="iteration-space sampling cap per nest for --evaluate",
     )
+    observability = parser.add_argument_group(
+        "observability",
+        "request tracing and structured logging (daemon metrics are "
+        "always collected; scrape them with the 'metrics' request kind)",
+    )
+    observability.add_argument(
+        "--trace-log",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append each served request's span tree as one JSON line "
+            "to PATH (--serve only)"
+        ),
+    )
+    observability.add_argument(
+        "--log-level",
+        default=os.environ.get("REPRO_LOG_LEVEL", "info"),
+        choices=("debug", "info", "warning", "error"),
+        help=(
+            "logging threshold; the REPRO_LOG_LEVEL environment "
+            "variable sets the default (info)"
+        ),
+    )
+    observability.add_argument(
+        "--log-json",
+        action="store_true",
+        help="log one JSON object per line (ts/level/logger/message)",
+    )
     return parser
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Install the service's stderr log handler per the CLI flags."""
+    try:
+        level = getattr(logging, args.log_level.upper())
+    except AttributeError:
+        raise SystemExit(f"unknown log level {args.log_level!r}")
+    handler = logging.StreamHandler(sys.stderr)
+    if args.log_json:
+        from repro.obs import JsonLogFormatter
+
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+        )
+    root = logging.getLogger()
+    root.addHandler(handler)
+    root.setLevel(level)
 
 
 def _resolve_programs(args: argparse.Namespace) -> list[Program]:
@@ -248,14 +298,13 @@ def _resolve_programs(args: argparse.Namespace) -> list[Program]:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
     if args.engine != "auto":
         # The env override propagates the forced engine into every
         # racing scheme child and pool worker this process spawns.
         # The env resolution path soft-degrades on numpy-free hosts
         # (right for a fleet-wide knob, wrong for an explicit flag),
         # so reject the impossible request here instead.
-        import os
-
         from repro.csp.vectorized import ENGINE_ENV, numpy_available
 
         if args.engine == "numpy" and not numpy_available():
@@ -276,6 +325,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         raise SystemExit("--random must be non-negative")
     if args.serve and args.connect:
         raise SystemExit("--serve and --connect are mutually exclusive")
+    if args.trace_log and not args.serve:
+        raise SystemExit("--trace-log requires --serve")
 
     if args.serve:
         return _run_daemon(args, config)
@@ -378,6 +429,7 @@ def _run_daemon(args, config) -> int:
             options=benchmark_build_options(),
             daemon_config=daemon_config,
             socket_path=args.socket,
+            trace_log=args.trace_log,
         )
     except KeyboardInterrupt:
         return 0

@@ -46,6 +46,15 @@ from dataclasses import dataclass
 from repro import __version__
 from repro.csp.vectorized import numpy_available, unlink_shared
 from repro.ir.program import Program
+from repro.obs import (
+    CONTENT_TYPE,
+    MetricsRegistry,
+    TraceJsonWriter,
+    capture,
+    prometheus_text,
+)
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS
+from repro.obs.trace import NOOP_SPAN, Span
 from repro.opt.network_builder import BuildOptions
 from repro.service import stream
 from repro.service.cache import ShardedResultCache
@@ -171,24 +180,36 @@ def _init_worker(
 
 
 def _worker_solve(program: Program, fingerprint: str) -> dict:
-    """Serve one solve miss on a warm worker."""
-    result = _WORKER_STATE["solver"].optimize(program, fingerprint=fingerprint)
+    """Serve one solve miss on a warm worker.
+
+    The solve runs inside an observability capture: the worker's span
+    tree and metric delta ship back piggybacked on the result
+    (``telemetry`` is a sibling of ``result``, so it is never cached
+    and never reaches the client wire form).
+    """
+    with capture("worker_solve", fingerprint=fingerprint) as telemetry:
+        result = _WORKER_STATE["solver"].optimize(
+            program, fingerprint=fingerprint
+        )
     return {
         "result": result.to_dict(),
         "exact": result.exact,
         "engine": result.engine,
         "kernel_source": result.kernel_source,
+        "telemetry": telemetry.telemetry(),
     }
 
 
 def _worker_evaluate(request: EvaluationRequest) -> dict:
     """Serve one evaluate miss on a warm worker."""
-    result = _WORKER_STATE["evaluator"].evaluate(request)
+    with capture("worker_evaluate") as telemetry:
+        result = _WORKER_STATE["evaluator"].evaluate(request)
     return {
         "result": result.to_dict(),
         "exact": result.exact,
         "engine": result.engine,
         "kernel_source": result.kernel_source,
+        "telemetry": telemetry.telemetry(),
     }
 
 
@@ -216,6 +237,10 @@ class SolverDaemon:
             constructed from ``daemon_config`` (sharded, persistent
             when ``cache_dir`` is set).  Passing a cache explicitly is
             how benchmarks warm a daemon from a cold batch run.
+        trace_log: path (or writable stream) receiving one JSON line
+            per served solve/evaluate request's span tree.  Setting it
+            also makes every request record a real span tree even when
+            the client did not ask for ``"trace": true``.
     """
 
     def __init__(
@@ -224,6 +249,7 @@ class SolverDaemon:
         options: BuildOptions | None = None,
         daemon_config: DaemonConfig | None = None,
         cache=None,
+        trace_log=None,
     ):
         self._config = config if config is not None else PortfolioConfig()
         self._options = options if options is not None else BuildOptions()
@@ -243,8 +269,19 @@ class SolverDaemon:
         self._inflight: asyncio.Semaphore | None = None
         self._pending: dict[str, asyncio.Future] = {}
         self._shutdown = asyncio.Event()
-        self._started_at = time.time()
+        # Monotonic, so a system clock step never makes uptime jump
+        # (or go negative) in `stats`.
+        self._started_at = time.monotonic()
         self._unsaved_stores = 0
+        #: The daemon's own metrics registry: request latency recorded
+        #: by the event loop, plus every worker's shipped delta folded
+        #: in by the dedup owner.  Explicit (not the module-global
+        #: convenience API) because the async loop interleaves
+        #: requests on one thread.
+        self.registry = MetricsRegistry()
+        self._trace_writer = (
+            TraceJsonWriter(trace_log) if trace_log is not None else None
+        )
         # Ordered set (dict keys) of fingerprints with a live shared
         # kernel segment, least-recently-served first.
         self._shared_segments: dict[str, None] = {}
@@ -310,6 +347,9 @@ class SolverDaemon:
         for fingerprint in list(self._shared_segments):
             unlink_shared(fingerprint)
         self._shared_segments.clear()
+        if self._trace_writer is not None:
+            self._trace_writer.close()
+            self._trace_writer = None
 
     # -- request handling ------------------------------------------------
 
@@ -345,6 +385,16 @@ class SolverDaemon:
                     "kind": "stats",
                     "result": self.stats(),
                 }
+            if kind == "metrics":
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "kind": "metrics",
+                    "result": {
+                        "text": prometheus_text(self.metrics_snapshot()),
+                        "content_type": CONTENT_TYPE,
+                    },
+                }
             if kind == "shutdown":
                 self._shutdown.set()
                 return {"id": request_id, "ok": True, "kind": "shutdown"}
@@ -379,7 +429,7 @@ class SolverDaemon:
     def stats(self) -> dict:
         """Serving counters plus cache statistics and engine breakdown."""
         snapshot = {
-            "uptime_seconds": time.time() - self._started_at,
+            "uptime_seconds": time.monotonic() - self._started_at,
             "counters": dict(self.counters),
             "engines": dict(self.engine_counters),
             "cache": {
@@ -390,6 +440,62 @@ class SolverDaemon:
         if hasattr(self.cache, "shard_stats"):
             snapshot["cache"]["shards"] = self.cache.shard_stats()
         return snapshot
+
+    def metrics_snapshot(self) -> dict:
+        """One coherent exposition-ready snapshot of everything.
+
+        Folds the live registry (request latency + accumulated worker
+        deltas) together with the serving counters, the per-engine
+        breakdown, and per-shard cache statistics -- always into a
+        *fresh* registry, so scraping twice never double-counts: each
+        scrape re-derives totals from the live sources of truth.
+        """
+        registry = MetricsRegistry()
+        registry.merge_snapshot(self.registry.snapshot())
+        registry.gauge(
+            "repro_daemon_uptime_seconds",
+            help="Seconds since the daemon object was constructed.",
+        ).set(time.monotonic() - self._started_at)
+        for event, count in self.counters.items():
+            registry.counter(
+                "repro_daemon_requests_total",
+                {"event": event},
+                help="Requests served, by lifecycle event.",
+            ).inc(count)
+        for engine, count in self.engine_counters.items():
+            registry.counter(
+                "repro_daemon_engine_total",
+                {"engine": engine},
+                help="Worker-dispatched misses by engine and kernel source.",
+            ).inc(count)
+        if hasattr(self.cache, "shard_stats"):
+            shard_rows = self.cache.shard_stats()
+        else:
+            shard_rows = [
+                {"shard": 0, "entries": len(self.cache), **self.cache.stats.as_dict()}
+            ]
+        for row in shard_rows:
+            labels = {"shard": str(row["shard"])}
+            registry.gauge(
+                "repro_cache_entries",
+                labels,
+                help="Live entries per result-cache shard.",
+            ).set(row.get("entries", 0))
+            for field in (
+                "hits",
+                "misses",
+                "stores",
+                "evictions",
+                "expirations",
+                "saves",
+                "merge_saves",
+            ):
+                registry.counter(
+                    f"repro_cache_{field}_total",
+                    labels,
+                    help=f"Result-cache {field.replace('_', '-')} per shard.",
+                ).inc(row.get(field, 0))
+        return registry.snapshot()
 
     def _record_engine(self, fingerprint: str, data: dict) -> None:
         """Fold one worker miss's engine telemetry into the breakdown."""
@@ -413,73 +519,128 @@ class SolverDaemon:
                 del self._shared_segments[oldest]
                 unlink_shared(oldest)
 
+    def _request_span(self, payload: dict, kind: str):
+        """A real root span when anyone will look at it, else the no-op.
+
+        Real when the client asked (``"trace": true``) or the daemon
+        tees span trees to a trace log; otherwise requests pay the
+        shared no-op span's one-branch cost.
+        """
+        if payload.get("trace") or self._trace_writer is not None:
+            return Span(f"request:{kind}", attributes={"kind": kind})
+        return NOOP_SPAN
+
+    def _finish(self, root, payload: dict, response: dict, start: float) -> dict:
+        """Stamp latency, record it, and flush/attach the span tree."""
+        seconds = time.perf_counter() - start
+        response["seconds"] = seconds
+        self.registry.histogram(
+            "repro_request_seconds",
+            {"kind": response["kind"]},
+            help="Daemon request latency by request kind.",
+            bounds=DEFAULT_LATENCY_BUCKETS,
+        ).observe(seconds)
+        if root:
+            root.set_attribute("id", payload.get("id"))
+            root.set_attribute("from_cache", response.get("from_cache", False))
+            root.end()
+            if self._trace_writer is not None:
+                self._trace_writer.write(root.to_dict())
+            if payload.get("trace"):
+                response["trace"] = root.to_dict()
+        return response
+
     async def _handle_solve(self, payload: dict) -> dict:
         start = time.perf_counter()
         self.counters["solve"] += 1
-        program = stream.program_from_wire(payload["program"])
-        fingerprint = request_fingerprint(program, self._options)
-        token = self._config.token()
-        cached = self.cache.get(fingerprint, token)
+        root = self._request_span(payload, "solve")
+        with root.phase("decode"):
+            program = stream.program_from_wire(payload["program"])
+        with root.phase("fingerprint"):
+            fingerprint = request_fingerprint(program, self._options)
+            token = self._config.token()
+        with root.phase("cache_lookup"):
+            cached = self.cache.get(fingerprint, token)
         if cached is not None:
             self.counters["cache_served"] += 1
-            result = dict(cached)
-            result["program"] = program.name  # entry may be a renamed twin
-            return {
+            with root.phase("encode"):
+                result = dict(cached)
+                result["program"] = program.name  # may be a renamed twin
+            response = {
                 "id": payload.get("id"),
                 "ok": True,
                 "kind": "solve",
                 "from_cache": True,
-                "seconds": time.perf_counter() - start,
                 "result": result,
             }
+            return self._finish(root, payload, response, start)
         data = await self._dispatch(
-            fingerprint, token, _worker_solve, program, fingerprint
+            fingerprint, token, root, _worker_solve, program, fingerprint
         )
-        result = dict(data["result"])
-        result["program"] = program.name
-        return {
+        with root.phase("encode"):
+            result = dict(data["result"])
+            result["program"] = program.name
+        response = {
             "id": payload.get("id"),
             "ok": True,
             "kind": "solve",
             "from_cache": False,
-            "seconds": time.perf_counter() - start,
             "result": result,
         }
+        return self._finish(root, payload, response, start)
 
     async def _handle_evaluate(self, payload: dict) -> dict:
         start = time.perf_counter()
         self.counters["evaluate"] += 1
-        program = stream.program_from_wire(payload["program"])
-        request = _evaluation_request(program, payload)
-        fingerprint = request_fingerprint(program, self._options)
-        token = request.token(self._config.token())
-        cached = self.cache.get(fingerprint, token)
+        root = self._request_span(payload, "evaluate")
+        with root.phase("decode"):
+            program = stream.program_from_wire(payload["program"])
+            request = _evaluation_request(program, payload)
+        with root.phase("fingerprint"):
+            fingerprint = request_fingerprint(program, self._options)
+            token = request.token(self._config.token())
+        with root.phase("cache_lookup"):
+            cached = self.cache.get(fingerprint, token)
         if cached is not None:
             self.counters["cache_served"] += 1
-            result = dict(cached)
-            result["program"] = program.name
-            return {
+            with root.phase("encode"):
+                result = dict(cached)
+                result["program"] = program.name
+            response = {
                 "id": payload.get("id"),
                 "ok": True,
                 "kind": "evaluate",
                 "from_cache": True,
-                "seconds": time.perf_counter() - start,
                 "result": result,
             }
-        data = await self._dispatch(fingerprint, token, _worker_evaluate, request)
-        result = dict(data["result"])
-        result["program"] = program.name
-        return {
+            return self._finish(root, payload, response, start)
+        data = await self._dispatch(
+            fingerprint, token, root, _worker_evaluate, request
+        )
+        with root.phase("encode"):
+            result = dict(data["result"])
+            result["program"] = program.name
+        response = {
             "id": payload.get("id"),
             "ok": True,
             "kind": "evaluate",
             "from_cache": False,
-            "seconds": time.perf_counter() - start,
             "result": result,
         }
+        return self._finish(root, payload, response, start)
+
+    def _merge_worker_telemetry(self, data: dict) -> None:
+        """Fold a worker's shipped metric delta into the live registry.
+
+        Owner-only (like `_record_engine`): the merge is a sum, so the
+        fold must see each worker capture exactly once.
+        """
+        telemetry = data.get("telemetry")
+        if telemetry and telemetry.get("metrics"):
+            self.registry.merge_snapshot(telemetry["metrics"])
 
     async def _dispatch(
-        self, fingerprint: str, token: str, worker_fn, *args
+        self, fingerprint: str, token: str, request_span, worker_fn, *args
     ) -> dict:
         """Run a miss on the warm pool, deduplicating concurrent twins.
 
@@ -492,17 +653,26 @@ class SolverDaemon:
         existing = self._pending.get(key)
         if existing is not None:
             self.counters["deduplicated"] += 1
-            return await asyncio.shield(existing)
+            with request_span.phase("dedup_wait") as wait_span:
+                data = await asyncio.shield(existing)
+            # Every request's trace shows the worker's phases, twin or
+            # not (adopt() builds fresh Span objects per call, so the
+            # owner's and each twin's trees never alias).
+            _adopt_worker_spans(wait_span, data)
+            return data
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._pending[key] = future
         try:
-            data = await loop.run_in_executor(
-                self._ensure_pool(), worker_fn, *args
-            )
+            with request_span.phase("dispatch") as dispatch_span:
+                data = await loop.run_in_executor(
+                    self._ensure_pool(), worker_fn, *args
+                )
             # Only the owner records: dedup twins share this payload,
             # and one worker miss must count once in the breakdown.
             self._record_engine(fingerprint, data)
+            self._merge_worker_telemetry(data)
+            _adopt_worker_spans(dispatch_span, data)
             if data["exact"]:
                 self._store(fingerprint, token, data["result"])
             future.set_result(data)
@@ -707,6 +877,17 @@ def _noop(_: int) -> None:
     return None
 
 
+def _adopt_worker_spans(parent, data: dict) -> None:
+    """Re-parent a worker's shipped span tree under a request phase."""
+    if not parent:
+        return
+    telemetry = data.get("telemetry") or {}
+    for payload in telemetry.get("spans", ()):
+        if payload:
+            with contextlib.suppress(ValueError):
+                parent.adopt(payload)
+
+
 def _best_effort_id(line: str | bytes):
     """Recover a request id from an invalid line, when possible."""
     try:
@@ -762,10 +943,14 @@ def serve(
     options: BuildOptions | None = None,
     daemon_config: DaemonConfig | None = None,
     socket_path: str | None = None,
+    trace_log: str | None = None,
 ) -> int:
     """Blocking entry point used by the CLI's ``--serve``."""
     daemon = SolverDaemon(
-        config=config, options=options, daemon_config=daemon_config
+        config=config,
+        options=options,
+        daemon_config=daemon_config,
+        trace_log=trace_log,
     )
     if socket_path is not None:
         asyncio.run(daemon.serve_unix(socket_path))

@@ -24,6 +24,8 @@ from repro.cachesim.hierarchy import HierarchyConfig
 from repro.eval import get_cost_model
 from repro.ir.program import Program
 from repro.layout.layout import Layout
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.opt.network_builder import BuildOptions
 from repro.opt.optimizer import select_transforms
 from repro.service.cache import ResultCache
@@ -290,19 +292,33 @@ class EvaluationService:
         fingerprint = request_fingerprint(request.program, self._options)
         token = request.token(self._config.token())
         if self._cache is not None:
-            cached = self._cache.get(fingerprint, token)
+            with obs_trace.span("cache_lookup"):
+                cached = self._cache.get(fingerprint, token)
             if cached is not None:
+                obs_metrics.counter(
+                    "repro_evaluate_requests_total",
+                    labels={"source": "cache"},
+                    help="Evaluation requests by serving source.",
+                )
                 result = EvaluationResult.from_dict(cached, from_cache=True)
                 result.program = request.program.name
                 result.seconds = time.perf_counter() - start
                 return result
 
+        obs_metrics.counter(
+            "repro_evaluate_requests_total",
+            labels={"source": "scored"},
+            help="Evaluation requests by serving source.",
+        )
         winner = None
         layouts = request.layouts
         exact = True
         engine = kernel_source = None
         if layouts is None:
-            outcome = self._solver.optimize(request.program, fingerprint=fingerprint)
+            with obs_trace.span("optimize"):
+                outcome = self._solver.optimize(
+                    request.program, fingerprint=fingerprint
+                )
             layouts = outcome.layouts
             winner = outcome.winner
             exact = outcome.exact
@@ -327,7 +343,8 @@ class EvaluationService:
             self._options.include_reversals,
             self._options.skew_factors,
         )
-        cost = model.score(request.program, layouts, transforms)
+        with obs_trace.span("score", model=request.cost_model):
+            cost = model.score(request.program, layouts, transforms)
         result = EvaluationResult(
             program=request.program.name,
             cost_model=cost.model,

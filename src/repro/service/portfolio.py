@@ -43,6 +43,9 @@ from repro.csp.vectorized import (
 from repro.csp.weighted import BranchAndBoundSolver
 from repro.ir.program import Program
 from repro.layout.layout import Layout, row_major
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import EFFORT_BUCKETS
 from repro.opt.network_builder import BuildOptions, LayoutNetwork, build_layout_network
 from repro.opt.optimizer import repair_inflation
 from repro.service.cache import ResultCache
@@ -404,8 +407,14 @@ class PortfolioSolver:
             fingerprint = request_fingerprint(program, self._options)
         token = self._config.token()
         if self._cache is not None:
-            cached = self._cache.get(fingerprint, token)
+            with obs_trace.span("cache_lookup"):
+                cached = self._cache.get(fingerprint, token)
             if cached is not None:
+                obs_metrics.counter(
+                    "repro_portfolio_requests_total",
+                    labels={"source": "cache"},
+                    help="Portfolio requests by serving source.",
+                )
                 result = PortfolioResult.from_dict(cached, from_cache=True)
                 # The fingerprint excludes the program *name*, so the
                 # entry may come from a renamed twin: report the
@@ -413,15 +422,22 @@ class PortfolioSolver:
                 result.program = program.name
                 return result
 
+        obs_metrics.counter(
+            "repro_portfolio_requests_total",
+            labels={"source": "race"},
+            help="Portfolio requests by serving source.",
+        )
         start = time.perf_counter()
         layout_network = None
         if self._network_cache is not None:
             layout_network = self._network_cache.get(fingerprint)
         if layout_network is None:
-            layout_network = build_layout_network(program, self._options)
+            with obs_trace.span("build_network"):
+                layout_network = build_layout_network(program, self._options)
             if self._network_cache is not None:
                 self._network_cache[fingerprint] = layout_network
-        kernel = layout_network.kernel()
+        with obs_trace.span("compile_kernel"):
+            kernel = layout_network.kernel()
         engine = resolve_engine(ENGINE_AUTO, kernel)
         kernel_source = None
         self._race_shared_key = None
@@ -433,17 +449,32 @@ class PortfolioSolver:
             self._race_shared_key = fingerprint
         elif engine == ENGINE_NUMPY:
             kernel_source = "local"
-        winner, exact, assignment, outcomes = self._race(
-            kernel, layout_network.weights
+        if kernel_source is not None:
+            obs_metrics.counter(
+                "repro_shared_kernel_events_total",
+                labels={"event": kernel_source},
+                help="Vectorized-kernel acquisition events by kind.",
+            )
+        mode = (
+            "parallel"
+            if self._config.parallel and len(self._config.schemes) > 1
+            else "sequential"
         )
+        race_start = time.perf_counter()
+        with obs_trace.span("race", mode=mode, engine=engine) as race_span:
+            winner, exact, assignment, outcomes = self._race(
+                kernel, layout_network.weights
+            )
+        race_seconds = time.perf_counter() - race_start
         if assignment is None:
             # Nothing came back (all errors/timeouts): fall back to the
             # weighted branch & bound in-process, like LayoutOptimizer
             # does for UNSAT networks -- a best-effort answer always
             # beats none.
-            weighted_result = BranchAndBoundSolver().solve_compiled(
-                layout_network.kernel(), layout_network.weights
-            )
+            with obs_trace.span("weighted_fallback"):
+                weighted_result = BranchAndBoundSolver().solve_compiled(
+                    layout_network.kernel(), layout_network.weights
+                )
             assignment = dict(weighted_result.assignment)
             exact = weighted_result.fully_satisfied
             winner = "weighted-fallback"
@@ -455,8 +486,10 @@ class PortfolioSolver:
                     stats=weighted_result.stats.as_dict(),
                 ),
             )
+        self._record_race(race_span, engine, mode, winner, outcomes, race_seconds)
         if exact:
-            repair_inflation(layout_network.network, assignment, program)
+            with obs_trace.span("repair_inflation"):
+                repair_inflation(layout_network.network, assignment, program)
 
         layouts: dict[str, Layout] = {}
         for decl in program.arrays:
@@ -482,6 +515,64 @@ class PortfolioSolver:
             # solution, so caching them would freeze a bad answer.
             self._cache.put(fingerprint, token, result.to_dict())
         return result
+
+    def _record_race(
+        self,
+        race_span,
+        engine: str,
+        mode: str,
+        winner: str | None,
+        outcomes: tuple[SchemeOutcome, ...],
+        race_seconds: float,
+    ) -> None:
+        """Fold one finished race into the telemetry layer.
+
+        Per-scheme race spans are *synthesized in the parent* from the
+        outcome table: parallel racers are separate short-lived
+        processes whose in-process telemetry dies with them, but their
+        wall-clock and effort counters come home in the table.  Each
+        synthesized span starts at the race's own start (all racers
+        launch together) and lasts the scheme's reported seconds.
+        """
+        obs_metrics.observe(
+            "repro_portfolio_race_seconds",
+            race_seconds,
+            labels={"mode": mode},
+            help="Wall-clock seconds per portfolio race.",
+        )
+        obs_metrics.counter(
+            "repro_portfolio_wins_total",
+            labels={"scheme": winner if winner is not None else "none"},
+            help="Races won, by scheme (weighted-fallback included).",
+        )
+        race_span.set_attribute("winner", winner)
+        for outcome in outcomes:
+            obs_metrics.counter(
+                "repro_portfolio_scheme_outcomes_total",
+                labels={"scheme": outcome.scheme, "status": outcome.status},
+                help="Per-scheme race outcome table, folded over time.",
+            )
+            for counter_name in ("nodes", "consistency_checks"):
+                effort = outcome.stats.get(counter_name)
+                if effort:
+                    obs_metrics.observe(
+                        "repro_engine_effort",
+                        float(effort),
+                        labels={"engine": engine, "counter": counter_name},
+                        help="Machine-independent solver effort per engine.",
+                        bounds=EFFORT_BUCKETS,
+                    )
+            if race_span and (outcome.seconds or outcome.status == "won"):
+                synthesized = race_span.child(
+                    f"scheme:{outcome.scheme}",
+                    scheme=outcome.scheme,
+                    status=outcome.status,
+                    won=(outcome.scheme == winner),
+                )
+                synthesized.start_ns = race_span.start_ns
+                synthesized.end_ns = synthesized.start_ns + int(
+                    outcome.seconds * 1e9
+                )
 
     # -- the race --------------------------------------------------------
 

@@ -11,7 +11,13 @@ Request kinds::
      "hierarchy": {"l1_size": 16384}, "sim_cap": 50000, "layouts": {...}}
     {"id": 3, "kind": "ping"}
     {"id": 4, "kind": "stats"}
-    {"id": 5, "kind": "shutdown"}
+    {"id": 5, "kind": "metrics"}
+    {"id": 6, "kind": "shutdown"}
+
+A solve/evaluate request may add ``"trace": true`` to get the served
+request's span tree back in ``response["trace"]``; the ``metrics``
+kind answers with the daemon's Prometheus text exposition in
+``result.text``.
 
 Responses::
 
@@ -151,7 +157,7 @@ def layouts_from_wire(data: Mapping) -> dict[str, Layout]:
 # -- request/response lines ----------------------------------------------
 
 #: Request kinds the daemon understands.
-REQUEST_KINDS = ("solve", "evaluate", "ping", "stats", "shutdown")
+REQUEST_KINDS = ("solve", "evaluate", "ping", "stats", "metrics", "shutdown")
 
 
 def decode_request(line: str | bytes) -> dict:
@@ -189,9 +195,16 @@ def error_response(request_id, message: str) -> dict:
     return {"id": request_id, "ok": False, "error": message}
 
 
-def solve_request(program: Program, request_id=None) -> dict:
-    """Build a solve request line payload."""
-    return {"id": request_id, "kind": "solve", "program": program_to_wire(program)}
+def solve_request(program: Program, request_id=None, trace: bool = False) -> dict:
+    """Build a solve request line payload.
+
+    ``trace=True`` asks the daemon to attach the request's span tree
+    to the response (``response["trace"]``).
+    """
+    payload = {"id": request_id, "kind": "solve", "program": program_to_wire(program)}
+    if trace:
+        payload["trace"] = True
+    return payload
 
 
 def evaluate_request(
@@ -201,11 +214,13 @@ def evaluate_request(
     layouts: Mapping[str, Layout] | None = None,
     sim_cap: int | None = None,
     request_id=None,
+    trace: bool = False,
 ) -> dict:
     """Build an evaluate request line payload.
 
     ``hierarchy`` is a field-override mapping (the wire form of the
     CLI's ``--hierarchy l1_size=16384,...``), not a full config.
+    ``trace=True`` asks for the request's span tree in the response.
     """
     payload = {
         "id": request_id,
@@ -219,6 +234,8 @@ def evaluate_request(
         payload["layouts"] = layouts_to_wire(layouts)
     if sim_cap is not None:
         payload["sim_cap"] = sim_cap
+    if trace:
+        payload["trace"] = True
     return payload
 
 
@@ -338,13 +355,20 @@ class DaemonClient:
             raise ProtocolError(response.get("error", "stats request failed"))
         return response["result"]
 
+    def metrics(self) -> str:
+        """The daemon's Prometheus text exposition (scrape body)."""
+        response = self.request({"kind": "metrics"})
+        if not response.get("ok"):
+            raise ProtocolError(response.get("error", "metrics request failed"))
+        return response["result"]["text"]
+
     def shutdown(self) -> dict:
         """Ask the daemon to stop serving (it answers first)."""
         return self.request({"kind": "shutdown"})
 
-    def solve(self, program: Program) -> dict:
+    def solve(self, program: Program, trace: bool = False) -> dict:
         """Solve one program; returns the full response line."""
-        return self.request(solve_request(program))
+        return self.request(solve_request(program, trace=trace))
 
     def solve_many(self, programs: Iterable[Program]) -> list[dict]:
         """Pipeline a batch of solve requests (responses in order)."""

@@ -1,0 +1,163 @@
+"""Exposition surfaces: Prometheus text, trace sink, JSON logs."""
+
+import json
+import logging
+import math
+
+import pytest
+
+from repro.obs import capture
+from repro.obs.export import (
+    JsonLogFormatter,
+    TraceJsonWriter,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.obs.metrics import EFFORT_BUCKETS, MetricsRegistry
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_cache_hits_total", {"shard": "0"}, help="Cache hits per shard."
+    ).inc(3)
+    registry.counter("repro_cache_hits_total", {"shard": "1"}).inc(1)
+    registry.gauge("repro_uptime_seconds", help="Monotonic uptime.").set(12.5)
+    histogram = registry.histogram(
+        "repro_request_seconds",
+        {"kind": "solve"},
+        help="Request latency.",
+        bounds=(0.01, 0.1, 1.0),
+    )
+    for value in (0.005, 0.05, 0.5, 5.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges_render_with_headers(self):
+        text = prometheus_text(_sample_registry().snapshot())
+        assert "# HELP repro_cache_hits_total Cache hits per shard." in text
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert 'repro_cache_hits_total{shard="0"} 3' in text
+        assert 'repro_cache_hits_total{shard="1"} 1' in text
+        assert "# TYPE repro_uptime_seconds gauge" in text
+        assert "repro_uptime_seconds 12.5" in text
+        # One TYPE header per metric family, not per series.
+        assert text.count("# TYPE repro_cache_hits_total") == 1
+
+    def test_histogram_renders_cumulative_buckets(self):
+        text = prometheus_text(_sample_registry().snapshot())
+        assert 'repro_request_seconds_bucket{kind="solve",le="0.01"} 1' in text
+        assert 'repro_request_seconds_bucket{kind="solve",le="0.1"} 2' in text
+        assert 'repro_request_seconds_bucket{kind="solve",le="1"} 3' in text
+        assert 'repro_request_seconds_bucket{kind="solve",le="+Inf"} 4' in text
+        assert 'repro_request_seconds_count{kind="solve"} 4' in text
+        assert 'repro_request_seconds_sum{kind="solve"} 5.555' in text
+
+    def test_output_parses_and_buckets_are_monotone(self):
+        parsed = parse_prometheus_text(
+            prometheus_text(_sample_registry().snapshot())
+        )
+        assert parsed["types"]["repro_request_seconds"] == "histogram"
+        buckets = [
+            (labels["le"], value)
+            for series, labels, value in parsed["samples"]
+            if series == "repro_request_seconds_bucket"
+        ]
+        counts = [value for _, value in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1][0] == "+Inf"
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        hostile = 'multi\nline "quoted" back\\slash'
+        registry.counter("repro_events_total", {"detail": hostile}).inc()
+        parsed = parse_prometheus_text(prometheus_text(registry.snapshot()))
+        ((series, labels, value),) = [
+            sample for sample in parsed["samples"]
+        ]
+        assert series == "repro_events_total"
+        assert labels["detail"] == hostile
+        assert value == 1
+
+    def test_empty_snapshot_renders_empty(self):
+        assert prometheus_text({"metrics": []}) == ""
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("# TYPE broken nosuchkind\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("just_a_name_no_value\n")
+
+    def test_parser_handles_inf(self):
+        parsed = parse_prometheus_text('x_bucket{le="+Inf"} 3\nx_sum +Inf\n')
+        assert parsed["samples"][1][2] == math.inf
+
+
+class TestTraceJsonWriter:
+    def test_one_complete_tree_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceJsonWriter(path) as writer:
+            with capture("request", kind="solve") as captured:
+                pass
+            writer.write(captured.root.to_dict())
+            writer.write({"name": "second", "start_ns": 0})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "request"
+        assert json.loads(lines[1])["name"] == "second"
+
+    def test_appends_rather_than_truncates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for index in range(2):
+            with TraceJsonWriter(path) as writer:
+                writer.write({"name": f"run{index}", "start_ns": 0})
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_accepts_an_open_stream_without_closing_it(self, tmp_path):
+        stream = open(tmp_path / "trace.jsonl", "w", encoding="utf-8")
+        try:
+            with TraceJsonWriter(stream) as writer:
+                writer.write({"name": "x", "start_ns": 0})
+            assert not stream.closed
+        finally:
+            stream.close()
+
+
+class TestJsonLogFormatter:
+    def _record(self, **extra) -> str:
+        logger = logging.getLogger("repro.test.jsonlog")
+        record = logger.makeRecord(
+            logger.name,
+            logging.WARNING,
+            __file__,
+            10,
+            "corrupt shard %s",
+            ("3",),
+            None,
+            extra=extra or None,
+        )
+        return JsonLogFormatter().format(record)
+
+    def test_core_fields_and_message_interpolation(self):
+        entry = json.loads(self._record())
+        assert entry["level"] == "WARNING"
+        assert entry["logger"] == "repro.test.jsonlog"
+        assert entry["message"] == "corrupt shard 3"
+        assert isinstance(entry["ts"], float)
+
+    def test_extras_like_fingerprint_pass_through(self):
+        entry = json.loads(self._record(fingerprint="deadbeef", request_id=7))
+        assert entry["fingerprint"] == "deadbeef"
+        assert entry["request_id"] == 7
+
+    def test_unserializable_extras_fall_back_to_repr(self):
+        entry = json.loads(self._record(payload=object()))
+        assert entry["payload"].startswith("<object object")
+
+    def test_every_line_is_valid_json(self):
+        # The property production cares about: no format() output can
+        # corrupt a JSON-lines stream.
+        entry = self._record(fingerprint='quo"te\nnewline')
+        assert json.loads(entry)["fingerprint"] == 'quo"te\nnewline'

@@ -1,0 +1,171 @@
+"""Metrics registry: instruments, snapshots, merge semantics."""
+
+import json
+import random
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    EFFORT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshot,
+)
+
+
+@pytest.fixture(autouse=True)
+def _metrics_off():
+    metrics.set_enabled(False)
+    yield
+    metrics.set_enabled(False)
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_requests_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_inflight")
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value == 2
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = Histogram(bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [1, 2, 3]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(555.5)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram(bounds=(10.0, 1.0))
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram(bounds=())
+
+    def test_default_bucket_sets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+        assert list(EFFORT_BUCKETS) == sorted(EFFORT_BUCKETS)
+
+    def test_labels_create_distinct_series_order_independent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_cache", {"shard": "0", "op": "hit"})
+        b = registry.counter("repro_cache", {"op": "hit", "shard": "0"})
+        c = registry.counter("repro_cache", {"shard": "1", "op": "hit"})
+        assert a is b
+        assert a is not c
+
+    def test_kind_collision_is_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_thing")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_thing")
+
+
+class TestMergeSemantics:
+    """The cross-process contract: merge is a sum, any fold order."""
+
+    @staticmethod
+    def _worker_delta(seed: int) -> dict:
+        """A plausible worker snapshot (counters + histogram)."""
+        rng = random.Random(seed)
+        registry = MetricsRegistry()
+        for _ in range(rng.randint(1, 5)):
+            registry.counter(
+                "repro_solver_solves_total", {"engine": "bitset"}
+            ).inc()
+        registry.counter("repro_cache_misses_total").inc(rng.randint(0, 3))
+        histogram = registry.histogram(
+            "repro_engine_effort", {"engine": "bitset"}, bounds=EFFORT_BUCKETS
+        )
+        for _ in range(rng.randint(1, 4)):
+            histogram.observe(rng.uniform(1, 1e6))
+        return registry.snapshot()
+
+    def test_merge_is_commutative(self):
+        a, b = self._worker_delta(1), self._worker_delta(2)
+        ab = merge_snapshot(a, b)
+        ba = merge_snapshot(b, a)
+        assert json.dumps(ab, sort_keys=True) == json.dumps(ba, sort_keys=True)
+
+    def test_merge_is_associative(self):
+        a, b, c = (self._worker_delta(seed) for seed in (1, 2, 3))
+        left = merge_snapshot(merge_snapshot(a, b), c)
+        right = merge_snapshot(a, merge_snapshot(b, c))
+        assert json.dumps(left, sort_keys=True) == json.dumps(
+            right, sort_keys=True
+        )
+
+    def test_interleaved_worker_completions_reach_the_same_registry(self):
+        """Two workers, any completion order: same final registry."""
+        deltas = [self._worker_delta(seed) for seed in (11, 12)]
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        for delta in deltas:
+            forward.merge_snapshot(delta)
+        for delta in reversed(deltas):
+            backward.merge_snapshot(delta)
+        assert json.dumps(forward.snapshot(), sort_keys=True) == json.dumps(
+            backward.snapshot(), sort_keys=True
+        )
+
+    def test_histograms_merge_bucket_for_bucket(self):
+        base = MetricsRegistry()
+        base.histogram("repro_latency", bounds=(1.0, 2.0)).observe(0.5)
+        delta = MetricsRegistry()
+        delta.histogram("repro_latency", bounds=(1.0, 2.0)).observe(1.5)
+        base.merge_snapshot(delta.snapshot())
+        merged = base.histogram("repro_latency", bounds=(1.0, 2.0))
+        assert merged.bucket_counts == [1, 2]
+        assert merged.count == 2
+        assert merged.sum == pytest.approx(2.0)
+
+    def test_mismatched_bounds_refuse_to_merge(self):
+        base = MetricsRegistry()
+        base.histogram("repro_latency", bounds=(1.0, 2.0)).observe(0.5)
+        delta = MetricsRegistry()
+        delta.histogram("repro_latency", bounds=(1.0, 5.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bounds disagree"):
+            base.merge_snapshot(delta.snapshot())
+
+    def test_snapshot_survives_json_wire(self):
+        delta = self._worker_delta(7)
+        wired = json.loads(json.dumps(delta))
+        registry = MetricsRegistry()
+        registry.merge_snapshot(wired)
+        assert json.dumps(registry.snapshot(), sort_keys=True) == json.dumps(
+            delta, sort_keys=True
+        )
+
+
+class TestModuleApi:
+    def test_disabled_api_writes_nothing(self):
+        before = json.dumps(metrics.get_registry().snapshot(), sort_keys=True)
+        metrics.counter("repro_should_not_exist")
+        metrics.gauge("repro_should_not_exist_either", 1.0)
+        metrics.observe("repro_nor_this", 0.5)
+        after = json.dumps(metrics.get_registry().snapshot(), sort_keys=True)
+        assert before == after
+
+    def test_collecting_captures_a_delta_and_restores(self):
+        outer = metrics.get_registry()
+        with metrics.collecting() as captured:
+            assert metrics.enabled()
+            metrics.counter("repro_worker_total", labels={"engine": "numpy"})
+            metrics.observe("repro_worker_seconds", 0.02)
+        assert metrics.get_registry() is outer
+        assert not metrics.enabled()
+        names = {entry["name"] for entry in captured.snapshot()["metrics"]}
+        assert names == {"repro_worker_total", "repro_worker_seconds"}

@@ -1,0 +1,144 @@
+"""Span trees: timing, no-op mode, wire round-trip, re-parenting."""
+
+import json
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    recording,
+    span,
+    span_from_dict,
+)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Every test starts (and the suite stays) in the disabled state."""
+    trace.set_enabled(False)
+    yield
+    trace.set_enabled(False)
+
+
+class TestSpan:
+    def test_timing_and_end_is_idempotent(self):
+        root = Span("request")
+        first_end = root.end().end_ns
+        assert root.end().end_ns == first_end
+        assert root.duration_ns >= 0
+        assert root.duration_seconds == root.duration_ns / 1e9
+
+    def test_child_and_phase_build_the_tree(self):
+        root = Span("request", attributes={"kind": "solve"})
+        with root.phase("decode", bytes=120):
+            pass
+        lookup = root.child("cache_lookup")
+        lookup.set_attribute("hit", False).end()
+        root.end()
+        assert [child.name for child in root.children] == [
+            "decode",
+            "cache_lookup",
+        ]
+        assert root.children[0].attributes == {"bytes": 120}
+        assert root.find("cache_lookup").attributes == {"hit": False}
+        assert root.find("missing") is None
+
+    def test_phase_seconds_sums_repeated_phases(self):
+        root = Span("request")
+        for _ in range(3):
+            root.child("retry").end()
+        root.child("encode").end()
+        totals = root.phase_seconds()
+        assert set(totals) == {"retry", "encode"}
+        assert totals["retry"] >= 0.0
+
+    def test_iter_spans_is_depth_first(self):
+        root = Span("a")
+        b = root.child("b")
+        b.child("c").end()
+        b.end()
+        root.child("d").end()
+        root.end()
+        assert [s.name for s in root.iter_spans()] == ["a", "b", "c", "d"]
+
+
+class TestWireForm:
+    def test_round_trip_is_byte_identical(self):
+        root = Span("worker_solve", attributes={"fingerprint": "abc"})
+        with root.phase("build_network", variables=12):
+            pass
+        child = root.child("solve")
+        child.set_attribute("engine", "bitset")
+        child.child("race").end()
+        child.end()
+        root.end()
+        wire = json.dumps(root.to_dict(), sort_keys=True)
+        rebuilt = span_from_dict(json.loads(wire))
+        assert json.dumps(rebuilt.to_dict(), sort_keys=True) == wire
+
+    def test_open_span_round_trips_with_null_end(self):
+        root = Span("open")
+        payload = root.to_dict()
+        assert payload["end_ns"] is None
+        assert span_from_dict(payload).end_ns is None
+
+    def test_malformed_payload_raises_value_error(self):
+        with pytest.raises(ValueError, match="malformed span"):
+            span_from_dict({"children": []})
+        with pytest.raises(ValueError, match="malformed span"):
+            span_from_dict({"name": "x", "start_ns": 0, "children": [None]})
+
+    def test_adopt_reparents_a_worker_tree(self):
+        worker_root = Span("worker_solve")
+        worker_root.child("solve").end()
+        worker_root.end()
+        shipped = json.loads(json.dumps(worker_root.to_dict()))
+
+        dispatch = Span("dispatch")
+        adopted = dispatch.adopt(shipped)
+        dispatch.end()
+        assert adopted in dispatch.children
+        assert dispatch.find("solve") is adopted.children[0]
+        # Timings were preserved exactly, not restamped.
+        assert adopted.start_ns == worker_root.start_ns
+        assert adopted.end_ns == worker_root.end_ns
+
+
+class TestAmbientApi:
+    def test_disabled_span_returns_the_shared_noop(self):
+        handle = span("anything", key="value")
+        with handle as live:
+            assert live is NOOP_SPAN
+        assert not NOOP_SPAN
+        assert NOOP_SPAN.child("x") is NOOP_SPAN
+        assert NOOP_SPAN.to_dict() == {}
+        assert list(NOOP_SPAN.iter_spans()) == []
+
+    def test_recording_nests_ambient_spans_and_restores_state(self):
+        assert not trace.enabled()
+        with recording("request", kind="solve") as root:
+            assert trace.enabled()
+            assert trace.current_span() is root
+            with span("build_network") as build:
+                assert trace.current_span() is build
+                with span("ac3"):
+                    pass
+            with span("solve"):
+                pass
+        assert not trace.enabled()
+        assert trace.current_span() is None
+        assert [child.name for child in root.children] == [
+            "build_network",
+            "solve",
+        ]
+        assert root.children[0].children[0].name == "ac3"
+        assert root.end_ns is not None
+
+    def test_ambient_span_without_recording_floats(self):
+        trace.set_enabled(True)
+        with span("floating") as floating:
+            assert floating is not NOOP_SPAN
+            assert trace.current_span() is floating
+        assert trace.current_span() is None

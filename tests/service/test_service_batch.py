@@ -82,6 +82,40 @@ class TestZeroWallClock:
         report = BatchReport(results=[], wall_seconds=1.0, workers=1)
         assert report.latency_percentile(0.5) == 0.0
 
+    def test_percentile_extremes_are_min_and_max(self):
+        report = BatchReport(
+            results=[
+                _result(seconds=s) for s in (0.4, 0.1, 0.3, 0.2)
+            ],
+            wall_seconds=1.0,
+            workers=1,
+        )
+        assert report.latency_percentile(0.0) == 0.1
+        assert report.latency_percentile(1.0) == 0.4
+
+    def test_single_item_batch_answers_that_item_for_every_fraction(self):
+        report = BatchReport(
+            results=[_result(seconds=0.125)], wall_seconds=1.0, workers=1
+        )
+        for fraction in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert report.latency_percentile(fraction) == 0.125
+
+    def test_sorted_latencies_cached_and_copy_isolated(self):
+        report = BatchReport(
+            results=[_result(seconds=s) for s in (0.3, 0.1, 0.2)],
+            wall_seconds=1.0,
+            workers=1,
+        )
+        assert report.latency_percentile(0.5) == 0.2
+        # Sorting happened once; repeated queries reuse the cache.
+        assert report._sorted_latencies() is report._sorted_latencies()
+        # Callers mutating the public list can't corrupt later queries.
+        report.latencies().clear()
+        assert report.latency_percentile(0.5) == 0.2
+        # Appending a result invalidates the cached sort.
+        report.results.append(_result(seconds=0.05))
+        assert report.latency_percentile(0.0) == 0.05
+
     def test_fully_cached_real_batch_reports_positive_throughput(self):
         """End to end: a warm in-memory batch must never report 0/s."""
         program = parse_program(FIGURE2)

@@ -124,3 +124,65 @@ class TestBatchApi:
     def test_invalid_workers_rejected(self):
         with pytest.raises(ValueError):
             run_batch([], workers=0)
+
+
+class TestObservabilityFlags:
+    def test_log_level_defaults_from_environment(self, monkeypatch):
+        from repro.service.cli import build_parser
+
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "debug")
+        args = build_parser().parse_args(["--programs", "MxM"])
+        assert args.log_level == "debug"
+        monkeypatch.delenv("REPRO_LOG_LEVEL")
+        args = build_parser().parse_args(["--programs", "MxM"])
+        assert args.log_level == "info"
+
+    def test_flag_overrides_environment(self, monkeypatch):
+        from repro.service.cli import build_parser
+
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "error")
+        args = build_parser().parse_args(
+            ["--programs", "MxM", "--log-level", "warning", "--log-json"]
+        )
+        assert args.log_level == "warning"
+        assert args.log_json is True
+
+    def test_trace_log_requires_serve(self):
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.service",
+                "--programs", "MxM", "--trace-log", "/tmp/nope.jsonl",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode != 0
+        assert "--trace-log requires --serve" in result.stderr
+
+    def test_json_logging_emits_parseable_lines(self, tmp_path):
+        """--serve with --log-json writes one JSON object per log line."""
+        import json as json_module
+
+        script = (
+            "import sys, logging\n"
+            "from repro.service.cli import build_parser, _configure_logging\n"
+            "args = build_parser().parse_args(['--log-json', '--log-level', 'debug'])\n"
+            "_configure_logging(args)\n"
+            "logging.getLogger('repro.test').info('hello %s', 'world')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=600,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        assert result.returncode == 0, result.stderr
+        lines = [l for l in result.stderr.splitlines() if l.strip()]
+        assert lines, "expected at least one log line"
+        record = json_module.loads(lines[-1])
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.test"
+        assert record["message"] == "hello world"
