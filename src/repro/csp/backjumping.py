@@ -35,6 +35,10 @@ class ConflictDirectedSolver:
             )
         )
 
+    def set_deadline(self, seconds: float) -> None:
+        """Bound the next solve's wall clock (``complete=False`` on expiry)."""
+        self._engine.set_deadline(seconds)
+
     def solve(self, network: ConstraintNetwork | CompiledNetwork) -> SolverResult:
         """Find one solution (or prove there is none)."""
         return self._engine.solve(network)

@@ -39,6 +39,10 @@ class BacktrackingSolver:
             )
         )
 
+    def set_deadline(self, seconds: float) -> None:
+        """Bound the next solve's wall clock (``complete=False`` on expiry)."""
+        self._engine.set_deadline(seconds)
+
     def solve(self, network: ConstraintNetwork | CompiledNetwork) -> SolverResult:
         """Find one solution (or prove there is none)."""
         return self._engine.solve(network)

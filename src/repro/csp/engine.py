@@ -31,6 +31,7 @@ runs reproduce the same searches.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 
 from repro.csp.compiled import CompiledNetwork, as_compiled
@@ -187,17 +188,33 @@ class SearchEngine:
 
     def __init__(self, config: EngineConfig):
         self._config = config
+        self._deadline_seconds: float | None = None
+        self._deadline_at: float | None = None
 
     @property
     def config(self) -> EngineConfig:
         """The engine's configuration."""
         return self._config
 
+    def set_deadline(self, seconds: float) -> None:
+        """Bound the next solve's wall clock (checked every 256 nodes).
+
+        Expiry ends the search with ``complete=False``, exactly like an
+        exhausted node budget; the portfolio propagates its remaining
+        race budget here so a losing scheme stops promptly.
+        """
+        self._deadline_seconds = max(0.0, seconds)
+
     def solve(self, network: ConstraintNetwork | CompiledNetwork) -> SolverResult:
         """Run the search to the first solution or to an UNSAT proof."""
         kernel = as_compiled(network)
         stats = SolverStats()
         rng = random.Random(self._config.seed)
+        self._deadline_at = (
+            time.monotonic() + self._deadline_seconds
+            if self._deadline_seconds is not None
+            else None
+        )
         complete = True
         vec = None
         if (
@@ -245,6 +262,12 @@ class SearchEngine:
         for value in self._order_values(kernel, variable, values, rng, stats, vec):
             stats.nodes += 1
             if budget is not None and stats.nodes > budget:
+                raise _NodeBudgetExhausted()
+            if (
+                self._deadline_at is not None
+                and (stats.nodes & 255) == 0
+                and time.monotonic() >= self._deadline_at
+            ):
                 raise _NodeBudgetExhausted()
             consistent, conflicts = self._check(
                 kernel, variable, value, values, depth_of, stats

@@ -93,6 +93,10 @@ class EnhancedSolver:
         """The active enhancement toggles."""
         return self._config
 
+    def set_deadline(self, seconds: float) -> None:
+        """Bound the next solve's wall clock (``complete=False`` on expiry)."""
+        self._engine.set_deadline(seconds)
+
     def solve(self, network: ConstraintNetwork | CompiledNetwork) -> SolverResult:
         """Find one solution (or prove there is none)."""
         return self._engine.solve(network)

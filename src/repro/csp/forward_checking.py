@@ -19,6 +19,8 @@ and effort counters are identical.
 
 from __future__ import annotations
 
+import time
+
 from repro.csp.compiled import CompiledNetwork, as_compiled
 from repro.csp.network import ConstraintNetwork
 from repro.csp.stats import SolverResult, SolverStats, Stopwatch
@@ -55,32 +57,88 @@ class _VecSelection:
         return self.mrv.argmin(self.popcounts, ~self.assigned)
 
 
+class _SearchCutoff(Exception):
+    """Raised inside ``_search`` when a node budget or deadline expires."""
+
+
 class ForwardCheckingSolver:
     """Backtracking with forward checking and MRV variable ordering.
 
-    Complete: a ``None`` result proves unsatisfiability.
+    Complete: a ``None`` result with ``complete=True`` proves
+    unsatisfiability.  A ``max_nodes`` budget or a deadline (see
+    :meth:`set_deadline`) cuts the search short with ``complete=False``
+    instead -- the split-search seam uses the budget for its ``auto``
+    serial attempt, and subtree workers use the deadline.
     """
 
     name = "forward-checking"
 
-    def __init__(self, seed: int = 0, engine: str = ENGINE_AUTO):
+    def __init__(
+        self,
+        seed: int = 0,
+        engine: str = ENGINE_AUTO,
+        max_nodes: int | None = None,
+    ):
         # The seed is accepted for interface symmetry; the solver is
         # fully deterministic (MRV with lexicographic tie-break).
         self._seed = seed
         self._engine = engine
+        self._max_nodes = max_nodes
+        self._deadline_seconds: float | None = None
+        self._deadline_at: float | None = None
+
+    def set_deadline(self, seconds: float) -> None:
+        """Bound the next solve's wall clock (checked every 256 nodes)."""
+        self._deadline_seconds = max(0.0, seconds)
 
     def solve(self, network: ConstraintNetwork | CompiledNetwork) -> SolverResult:
         """Find one solution (or prove there is none)."""
         kernel = as_compiled(network)
+        return self.solve_from(
+            kernel,
+            [None] * kernel.variable_count,
+            list(kernel.full_masks),
+            0,
+        )
+
+    def solve_from(
+        self,
+        network: ConstraintNetwork | CompiledNetwork,
+        values: list[int | None],
+        domains: list[int],
+        assigned: int,
+        deadline_at: float | None = None,
+    ) -> SolverResult:
+        """Resume the search from a snapshot (values + domain masks).
+
+        The split-search subtree workers enter here: forward-checking
+        state depends only on the decision prefix, so searching from a
+        frontier snapshot is byte-identical to the serial search's walk
+        of that subtree.  ``deadline_at`` is an absolute
+        ``time.monotonic()`` timestamp overriding :meth:`set_deadline`.
+        """
+        kernel = as_compiled(network)
         vec = None
         if resolve_engine(self._engine, kernel) == ENGINE_NUMPY:
             vec = _VecSelection(as_vectorized(kernel))
+            for i in range(kernel.variable_count):
+                vec.popcounts[i] = domains[i].bit_count()
+                vec.assigned[i] = values[i] is not None
+        if deadline_at is not None:
+            self._deadline_at = deadline_at
+        elif self._deadline_seconds is not None:
+            self._deadline_at = time.monotonic() + self._deadline_seconds
+        else:
+            self._deadline_at = None
         stats = SolverStats()
+        complete = True
         with Stopwatch(stats):
-            domains = list(kernel.full_masks)
-            values: list[int | None] = [None] * kernel.variable_count
-            solution = self._search(kernel, values, 0, domains, stats, vec)
-        return SolverResult(solution, stats, complete=True)
+            try:
+                solution = self._search(kernel, values, assigned, domains, stats, vec)
+            except _SearchCutoff:
+                solution = None
+                complete = False
+        return SolverResult(solution, stats, complete=complete)
 
     def _search(
         self,
@@ -103,6 +161,14 @@ class ForwardCheckingSolver:
             remaining ^= low
             value = low.bit_length() - 1
             stats.nodes += 1
+            if self._max_nodes is not None and stats.nodes > self._max_nodes:
+                raise _SearchCutoff()
+            if (
+                self._deadline_at is not None
+                and (stats.nodes & 255) == 0
+                and time.monotonic() >= self._deadline_at
+            ):
+                raise _SearchCutoff()
             pruned = self._forward_prune(
                 kernel, variable, value, values, domains, stats, vec
             )

@@ -26,6 +26,7 @@ uses).
 from __future__ import annotations
 
 import random
+import time
 
 from repro.csp.compiled import CompiledNetwork, as_compiled
 from repro.csp.engine import record_solver_effort
@@ -59,6 +60,17 @@ class MinConflictsSolver:
         self._max_steps = max_steps
         self._max_restarts = max_restarts
         self._engine = engine
+        self._deadline_seconds: float | None = None
+
+    def set_deadline(self, seconds: float) -> None:
+        """Bound the next solve's wall clock.
+
+        Expiry ends the walk without an assignment -- the solver is
+        incomplete by contract, so a deadline only shortens the search.
+        The deadline is checked once per improve step and restart, and
+        never touches the effort counters.
+        """
+        self._deadline_seconds = max(0.0, seconds)
 
     def solve(self, network: ConstraintNetwork | CompiledNetwork) -> SolverResult:
         """Search for a solution; gives up after the step/restart budget."""
@@ -73,6 +85,11 @@ class MinConflictsSolver:
     def _solve_resolved(
         self, kernel: CompiledNetwork, engine: str
     ) -> SolverResult:
+        deadline_at = (
+            time.monotonic() + self._deadline_seconds
+            if self._deadline_seconds is not None
+            else None
+        )
         if engine == ENGINE_NUMPY:
             return batch_min_conflicts(
                 kernel,
@@ -80,18 +97,23 @@ class MinConflictsSolver:
                 max_steps=self._max_steps,
                 max_restarts=self._max_restarts,
                 engine=ENGINE_NUMPY,
+                deadline_at=deadline_at,
             )[0]
         stats = SolverStats()
         rng = random.Random(self._seed)
         with Stopwatch(stats):
             for _ in range(self._max_restarts):
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    break
                 values = [
                     rng.randrange(kernel.domain_size(variable))
                     for variable in range(kernel.variable_count)
                 ]
-                solution = self._improve(kernel, values, rng, stats)
+                solution = self._improve(kernel, values, rng, stats, deadline_at)
                 if solution is not None:
                     return SolverResult(solution, stats, complete=False)
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    break  # aborted walk, not an exhausted restart
                 stats.restarts += 1
         return SolverResult(None, stats, complete=False)
 
@@ -121,8 +143,11 @@ class MinConflictsSolver:
         values: list[int],
         rng: random.Random,
         stats: SolverStats,
+        deadline_at: float | None = None,
     ) -> dict | None:
         for _ in range(self._max_steps):
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                return None
             conflicted = self._conflicted_variables(kernel, values, stats)
             if not conflicted:
                 return kernel.to_named(values)

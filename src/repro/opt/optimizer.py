@@ -25,6 +25,13 @@ from repro.csp.backtracking import BacktrackingSolver
 from repro.csp.enhanced import EnhancedSolver, EnhancementConfig
 from repro.csp.forward_checking import ForwardCheckingSolver
 from repro.csp.minconflicts import MinConflictsSolver
+from repro.csp.splitsearch import (
+    SEARCH_AUTO,
+    SEARCH_SPLIT,
+    SEARCHES,
+    SplitSearchSolver,
+    resolve_search,
+)
 from repro.csp.stats import SolverStats
 from repro.csp.weighted import BranchAndBoundSolver
 from repro.ir.program import Program
@@ -46,6 +53,7 @@ _SCHEMES = {
     "cbj": lambda seed: ConflictDirectedSolver(seed=seed),
     "forward-checking": lambda seed: ForwardCheckingSolver(seed=seed),
     "min-conflicts": lambda seed: MinConflictsSolver(seed=seed),
+    "split": lambda seed: SplitSearchSolver(seed=seed),
     "weighted": lambda seed: BranchAndBoundSolver(),
 }
 
@@ -134,8 +142,10 @@ class LayoutOptimizer:
 
     Args:
         scheme: "base", "enhanced", "cbj", "forward-checking",
-            "min-conflicts", "weighted" (branch & bound over the
-            nest-cost weighted network), an :class:`EnhancementConfig`
+            "min-conflicts", "split" (space-splitting parallel search
+            over the forward-checking frontier), "weighted" (branch &
+            bound over the nest-cost weighted network), an
+            :class:`EnhancementConfig`
             for per-enhancement ablation runs, or a *portfolio
             strategy*: the string ``"portfolio:enhanced,cbj,weighted"``
             (or a :class:`repro.service.PortfolioConfig`) races the
@@ -155,10 +165,19 @@ class LayoutOptimizer:
             outcome's ``cost`` and ``refinement`` fields carry the
             evidence.  ``None`` (default) keeps the classic behavior.
         refine_top_k: how many enumerated solutions to score.
+        search: search-space execution mode, threaded into the
+            ``"split"`` scheme and the refinement enumeration:
+            ``"serial"``, ``"split"``, or ``"auto"`` (default; the
+            split solver escalates only after its serial budget).
+            When the mode resolves to ``"split"`` (explicitly or via
+            ``REPRO_CSP_SEARCH``), refinement candidates stream from
+            :func:`repro.csp.splitsearch.enumerate_solutions_parallel`
+            -- the frontier is enumerated lazily across worker
+            processes and stops at ``refine_top_k`` solutions.
 
     Raises:
         ValueError: for an unknown scheme name, unknown refine model,
-            or non-positive ``refine_top_k``.
+            unknown search mode, or non-positive ``refine_top_k``.
     """
 
     def __init__(
@@ -168,7 +187,13 @@ class LayoutOptimizer:
         options: BuildOptions | None = None,
         refine=None,
         refine_top_k: int = 8,
+        search: str = SEARCH_AUTO,
     ):
+        if search not in SEARCHES:
+            raise ValueError(
+                f"unknown search {search!r}; pick one of {SEARCHES}"
+            )
+        self._search = search
         self._portfolio = None
         self._portfolio_solver = None
         self._solver = None
@@ -185,7 +210,12 @@ class LayoutOptimizer:
                     f"unknown scheme {scheme!r}; pick one of {sorted(_SCHEMES)}"
                 )
             self._scheme_name = scheme
-            self._solver = _SCHEMES[scheme](seed)
+            if scheme == "split":
+                # Thread the search mode through (the registry factory
+                # keeps the solver's own default for other callers).
+                self._solver = SplitSearchSolver(seed=seed, search=search)
+            else:
+                self._solver = _SCHEMES[scheme](seed)
         self._options = options if options is not None else BuildOptions()
         if refine_top_k <= 0:
             raise ValueError("refine_top_k must be positive")
@@ -273,22 +303,37 @@ class LayoutOptimizer:
         the analytic model).  Ties keep the earlier candidate, so the
         solver's answer survives unless the model strictly prefers an
         alternative.
+
+        When the optimizer's search mode resolves to ``"split"``, the
+        alternatives stream lazily from the parallel frontier
+        enumerator -- same solutions in the same (lexicographic)
+        order, produced by racing worker processes -- so a small
+        ``refine_top_k`` stops the enumeration early instead of
+        paying for the whole solution set.
         """
         from repro.csp.compiled import enumerate_solutions
+        from repro.csp.splitsearch import enumerate_solutions_parallel
         from repro.eval import AnalyticCostModel, kendall_tau
 
         start = time.perf_counter()
         model = self._refine
         analytic = model if model.name == "analytic" else AnalyticCostModel()
 
+        split = resolve_search(self._search) == SEARCH_SPLIT
         with obs_trace.span("refine", model=model.name) as refine_span:
+            if split:
+                solutions = enumerate_solutions_parallel(
+                    outcome.network.kernel(), self._refine_top_k
+                )
+            else:
+                solutions = enumerate_solutions(
+                    outcome.network.kernel(), self._refine_top_k
+                )
             pool: list[tuple[str, dict[str, Layout]]] = [
                 ("search", dict(outcome.layouts))
             ]
             seen = {_layout_key(outcome.layouts)}
-            for index, assignment in enumerate(
-                enumerate_solutions(outcome.network.kernel(), self._refine_top_k)
-            ):
+            for index, assignment in enumerate(solutions):
                 layouts = {
                     decl.name: assignment.get(decl.name, row_major(decl.rank))
                     for decl in program.arrays
@@ -385,6 +430,7 @@ def shared_optimizer(
     options: BuildOptions | None = None,
     refine=None,
     refine_top_k: int = 8,
+    search: str = SEARCH_AUTO,
 ) -> LayoutOptimizer:
     """A process-shared, reusable :class:`LayoutOptimizer`.
 
@@ -400,14 +446,14 @@ def shared_optimizer(
     if refine is not None and not isinstance(refine, str):
         return LayoutOptimizer(
             scheme=scheme, seed=seed, options=options,
-            refine=refine, refine_top_k=refine_top_k,
+            refine=refine, refine_top_k=refine_top_k, search=search,
         )
-    key = (repr(scheme), seed, repr(options), refine, refine_top_k)
+    key = (repr(scheme), seed, repr(options), refine, refine_top_k, search)
     optimizer = _SHARED_OPTIMIZERS.get(key)
     if optimizer is None:
         optimizer = LayoutOptimizer(
             scheme=scheme, seed=seed, options=options,
-            refine=refine, refine_top_k=refine_top_k,
+            refine=refine, refine_top_k=refine_top_k, search=search,
         )
         if len(_SHARED_OPTIMIZERS) >= _SHARED_OPTIMIZERS_CAP:
             _SHARED_OPTIMIZERS.pop(next(iter(_SHARED_OPTIMIZERS)))

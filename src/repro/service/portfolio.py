@@ -67,10 +67,38 @@ _DEAD_WORKER_GRACE_SECONDS = 0.5
 
 
 def known_schemes() -> tuple[str, ...]:
-    """Every scheme name a portfolio may reference, sorted."""
+    """Every scheme name a portfolio may reference, sorted.
+
+    The ``split:<workers>`` family is open-ended and therefore not
+    enumerated here; :func:`split_workers` recognizes its members.
+    """
     from repro.opt.optimizer import _SCHEMES
 
     return tuple(sorted(set(_SCHEMES) | set(EXTRA_SCHEMES)))
+
+
+def split_workers(scheme: str) -> int | None:
+    """Worker count of a ``split:<workers>`` family token (else None).
+
+    Raises:
+        ValueError: for a malformed count (``split:`` is the family
+            prefix, so a bad suffix is a config error, not an unknown
+            scheme).
+    """
+    if not scheme.startswith("split:"):
+        return None
+    suffix = scheme.split(":", 1)[1]
+    try:
+        workers = int(suffix)
+    except ValueError:
+        raise ValueError(
+            f"bad split scheme {scheme!r}: worker count must be an integer"
+        ) from None
+    if workers <= 0:
+        raise ValueError(
+            f"bad split scheme {scheme!r}: worker count must be positive"
+        )
+    return workers
 
 
 @dataclass(frozen=True)
@@ -80,14 +108,22 @@ class PortfolioConfig:
     Attributes:
         schemes: scheme names, in priority order (ties in the race are
             broken toward the earlier scheme; sequential mode runs them
-            in this order).
+            in this order).  Besides the registry names this accepts
+            the ``split:<workers>`` family (e.g. ``split:4``): a
+            space-splitting parallel search racer
+            (:class:`repro.csp.splitsearch.SplitSearchSolver`) with
+            that worker count.
         seed: RNG seed handed to every randomized scheme.
-        deadline_seconds: per-race wall-clock budget; stragglers are
-            terminated when it expires.
+        deadline_seconds: per-race wall-clock budget.  The remaining
+            budget is also *propagated into* every scheme via its
+            cooperative ``set_deadline`` hook (and from there into
+            each split subtree), so schemes stop themselves mid-search
+            instead of burning the full budget; stragglers that ignore
+            the hook are terminated when the deadline expires.
         parallel: race with one process per scheme (True) or run the
             schemes one after another in-process (False; deterministic,
-            used by tests and tiny workloads -- the deadline is then
-            only checked *between* schemes).
+            used by tests and tiny workloads -- between schemes the
+            deadline gates whether the next one starts at all).
     """
 
     schemes: tuple[str, ...] = DEFAULT_SCHEMES
@@ -101,7 +137,11 @@ class PortfolioConfig:
         if len(set(self.schemes)) != len(self.schemes):
             raise ValueError(f"duplicate schemes in portfolio: {self.schemes}")
         known = known_schemes()
-        unknown = [name for name in self.schemes if name not in set(known)]
+        unknown = [
+            name
+            for name in self.schemes
+            if name not in set(known) and split_workers(name) is None
+        ]
         if unknown:
             raise ValueError(
                 f"unknown portfolio schemes {unknown}; know {known}"
@@ -277,12 +317,19 @@ class PortfolioResult:
         )
 
 
-def _make_solver(scheme: str, seed: int):
-    """Instantiate a scheme by name (built-in registry plus extras)."""
+def _make_solver(scheme: str, seed: int, shared_key: str | None = None):
+    """Instantiate a scheme by name (registry, extras, split family)."""
     from repro.opt.optimizer import _SCHEMES
 
     if scheme in EXTRA_SCHEMES:
         return EXTRA_SCHEMES[scheme](seed)
+    workers = split_workers(scheme)
+    if workers is not None:
+        from repro.csp.splitsearch import SplitSearchSolver
+
+        return SplitSearchSolver(
+            seed=seed, workers=workers, shared_key=shared_key
+        )
     return _SCHEMES[scheme](seed)
 
 
@@ -292,6 +339,7 @@ def _solve_scheme(
     weights: Mapping[frozenset[str], float] | None,
     seed: int,
     shared_key: str | None = None,
+    deadline_at: float | None = None,
 ) -> dict:
     """Run one scheme to completion; returns a picklable payload.
 
@@ -301,6 +349,12 @@ def _solve_scheme(
     the parent published the vectorized planes (``shared_key``), a
     worker that received a plane-less kernel (``spawn`` pickling)
     attaches the shared segment instead of rebuilding them.
+
+    ``deadline_at`` is the race's absolute ``time.monotonic`` expiry:
+    schemes with a cooperative ``set_deadline`` hook get the remaining
+    budget so they stop mid-search instead of waiting to be killed
+    (CLOCK_MONOTONIC is system-wide, so the absolute stamp survives
+    the fork into a racer process).
     """
     start = time.perf_counter()
     if (
@@ -311,32 +365,43 @@ def _solve_scheme(
         attached = attach_shared(shared_key)
         if attached is not None:
             install_vectorized(kernel, attached)
-    solver = _make_solver(scheme, seed)
-    if isinstance(solver, BranchAndBoundSolver):
-        weighted_result = solver.solve_compiled(kernel, weights)
+    solver = _make_solver(scheme, seed, shared_key)
+    if deadline_at is not None and hasattr(solver, "set_deadline"):
+        solver.set_deadline(deadline_at - time.monotonic())
+    try:
+        if isinstance(solver, BranchAndBoundSolver):
+            weighted_result = solver.solve_compiled(kernel, weights)
+            return {
+                "assignment": dict(weighted_result.assignment),
+                "sat": True,
+                "exact": weighted_result.fully_satisfied,
+                "complete": True,
+                "stats": weighted_result.stats.as_dict(),
+                "seconds": time.perf_counter() - start,
+            }
+        result = solver.solve(kernel)
         return {
-            "assignment": dict(weighted_result.assignment),
-            "sat": True,
-            "exact": weighted_result.fully_satisfied,
-            "complete": True,
-            "stats": weighted_result.stats.as_dict(),
+            "assignment": dict(result.assignment) if result.assignment else None,
+            "sat": result.satisfiable,
+            "exact": result.satisfiable,
+            "complete": result.complete,
+            "stats": result.stats.as_dict(),
             "seconds": time.perf_counter() - start,
         }
-    result = solver.solve(kernel)
-    return {
-        "assignment": dict(result.assignment) if result.assignment else None,
-        "sat": result.satisfiable,
-        "exact": result.satisfiable,
-        "complete": result.complete,
-        "stats": result.stats.as_dict(),
-        "seconds": time.perf_counter() - start,
-    }
+    finally:
+        close = getattr(solver, "close", None)
+        if callable(close):  # split solvers own a worker pool
+            close()
 
 
-def _race_worker(result_queue, scheme, kernel, weights, seed, shared_key) -> None:
+def _race_worker(
+    result_queue, scheme, kernel, weights, seed, shared_key, deadline_at=None
+) -> None:
     """Process entry point: solve and report (never raises)."""
     try:
-        payload = _solve_scheme(scheme, kernel, weights, seed, shared_key)
+        payload = _solve_scheme(
+            scheme, kernel, weights, seed, shared_key, deadline_at
+        )
         result_queue.put((scheme, payload, None))
     except BaseException as exc:  # report, don't die silently
         result_queue.put((scheme, None, repr(exc)))
@@ -594,6 +659,7 @@ class PortfolioSolver:
         self, kernel, weights
     ) -> tuple[str | None, bool, dict | None, tuple[SchemeOutcome, ...]]:
         deadline = time.perf_counter() + self._config.deadline_seconds
+        deadline_at = time.monotonic() + self._config.deadline_seconds
         outcomes: list[SchemeOutcome] = []
         fallback: tuple[str, dict] | None = None
         winner: tuple[str, dict] | None = None
@@ -607,7 +673,11 @@ class PortfolioSolver:
                 break
             try:
                 payload = _solve_scheme(
-                    scheme, kernel, weights, self._config.scheme_seed(index)
+                    scheme,
+                    kernel,
+                    weights,
+                    self._config.scheme_seed(index),
+                    deadline_at=deadline_at,
                 )
             except Exception as exc:
                 outcomes.append(
@@ -642,6 +712,8 @@ class PortfolioSolver:
     ) -> tuple[str | None, bool, dict | None, tuple[SchemeOutcome, ...]]:
         context = _context()
         result_queue = context.Queue()
+        deadline = time.perf_counter() + self._config.deadline_seconds
+        deadline_at = time.monotonic() + self._config.deadline_seconds
         processes: dict[str, multiprocessing.Process] = {}
         for index, scheme in enumerate(self._config.schemes):
             process = context.Process(
@@ -653,13 +725,13 @@ class PortfolioSolver:
                     weights,
                     self._config.scheme_seed(index),
                     shared_key,
+                    deadline_at,
                 ),
                 daemon=True,
             )
             processes[scheme] = process
             process.start()
 
-        deadline = time.perf_counter() + self._config.deadline_seconds
         pending = set(processes)
         finished: dict[str, SchemeOutcome] = {}
         suspect_since: dict[str, float] = {}

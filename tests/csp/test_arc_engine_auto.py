@@ -1,0 +1,143 @@
+"""Per-arc engine crossover in AC-3 (``engine="auto"``).
+
+The numpy revision has a flat per-arc cost while the bitset revision
+scales with the support size, so below
+:data:`repro.csp.vectorized.AC3_ARC_CROSSOVER_CELLS` cells the bitset
+loop wins even inside a numpy-resolved run.  ``ac3(engine="auto")``
+therefore routes each arc to the cheaper representation and reports
+the split in ``ArcConsistencyResult.arc_engines``.  The contract: the
+routing is invisible in the answer (consistent flag, domains,
+revision count all engine-independent) and disabled by an explicit
+engine choice or the ``REPRO_CSP_ENGINE`` override.
+"""
+
+import random
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.csp.arc_consistency import ac3
+from repro.csp.network import ConstraintNetwork
+from repro.csp.random_networks import random_network
+from repro.csp.vectorized import (
+    AC3_ARC_CROSSOVER_CELLS,
+    ENGINE_AUTO,
+    ENGINE_BITSET,
+    ENGINE_ENV,
+    ENGINE_NUMPY,
+)
+
+
+def _small_domain_network():
+    """Many variables, tiny domains: numpy-resolved, every arc below
+    the crossover (4 x 4 = 16 cells << 900)."""
+    return random_network(30, 4, 0.3, 0.3, seed=5)
+
+
+def _wide_domain_network():
+    """Few variables, wide domains: every arc above the crossover
+    (40 x 40 = 1600 cells > 900)."""
+    return random_network(6, 40, 0.8, 0.4, seed=9)
+
+
+def _mixed_domain_network():
+    """One wide hub constrained against narrow spokes: arcs on both
+    sides of the crossover in a single run."""
+    rng = random.Random(17)
+    network = ConstraintNetwork()
+    network.add_variable("hub", list(range(40)))
+    network.add_variable("hub2", list(range(40)))
+    # wide-wide arc: 40 x 40 = 1600 cells, above the crossover
+    network.add_constraint(
+        "hub",
+        "hub2",
+        [
+            (a, b)
+            for a in range(40)
+            for b in range(40)
+            if rng.random() > 0.3
+        ],
+    )
+    for index in range(6):
+        name = f"spoke{index}"
+        network.add_variable(name, list(range(4)))
+        pairs = [
+            (h, s)
+            for h in range(40)
+            for s in range(4)
+            if rng.random() > 0.3
+        ]
+        network.add_constraint("hub", name, pairs)
+    # narrow-narrow arcs too
+    for index in range(5):
+        pairs = [
+            (a, b)
+            for a in range(4)
+            for b in range(4)
+            if rng.random() > 0.4
+        ]
+        network.add_constraint(f"spoke{index}", f"spoke{index + 1}", pairs)
+    return network
+
+
+NETWORKS = {
+    "small": _small_domain_network,
+    "wide": _wide_domain_network,
+    "mixed": _mixed_domain_network,
+}
+
+
+class TestParity:
+    @pytest.mark.parametrize("build", NETWORKS.values(), ids=NETWORKS.keys())
+    def test_auto_matches_both_pure_engines(self, build):
+        network = build()
+        auto = ac3(network, engine=ENGINE_AUTO)
+        bitset = ac3(network, engine=ENGINE_BITSET)
+        numpy_run = ac3(network, engine=ENGINE_NUMPY)
+        for pure in (bitset, numpy_run):
+            assert auto.consistent == pure.consistent
+            assert auto.revisions == pure.revisions
+            if auto.consistent:
+                assert auto.domains == pure.domains
+
+    @pytest.mark.parametrize("build", NETWORKS.values(), ids=NETWORKS.keys())
+    def test_arc_engine_totals_equal_revisions(self, build):
+        result = ac3(build(), engine=ENGINE_AUTO)
+        assert sum(result.arc_engines.values()) == result.revisions
+
+
+class TestRouting:
+    def test_small_domain_arcs_route_to_bitset(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        result = ac3(_small_domain_network(), engine=ENGINE_AUTO)
+        # Every arc is far below the crossover: zero numpy revisions.
+        assert result.arc_engines.get(ENGINE_NUMPY, 0) == 0
+        assert result.arc_engines.get(ENGINE_BITSET, 0) == result.revisions
+
+    def test_wide_domain_arcs_route_to_numpy(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        result = ac3(_wide_domain_network(), engine=ENGINE_AUTO)
+        assert result.arc_engines.get(ENGINE_BITSET, 0) == 0
+        assert result.arc_engines.get(ENGINE_NUMPY, 0) == result.revisions
+
+    def test_mixed_network_uses_both(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        result = ac3(_mixed_domain_network(), engine=ENGINE_AUTO)
+        assert result.arc_engines.get(ENGINE_BITSET, 0) > 0
+        assert result.arc_engines.get(ENGINE_NUMPY, 0) > 0
+
+    def test_env_override_disables_the_mix(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "numpy")
+        result = ac3(_mixed_domain_network(), engine=ENGINE_AUTO)
+        assert result.arc_engines.get(ENGINE_BITSET, 0) == 0
+
+    def test_explicit_numpy_engine_is_pure(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        result = ac3(_mixed_domain_network(), engine=ENGINE_NUMPY)
+        assert result.arc_engines.get(ENGINE_BITSET, 0) == 0
+
+    def test_crossover_constant_is_sane(self):
+        # The measured crossover sits between 16-cell arcs (bitset
+        # ~10x faster) and 4096-cell arcs (numpy ~2.4x faster).
+        assert 16 < AC3_ARC_CROSSOVER_CELLS < 4096

@@ -1,0 +1,83 @@
+"""Lockstep batch min-conflicts: finished chains cost nothing.
+
+The numpy batch advances every chain one step per round.  A bugfix
+made the per-round gather skip rows of chains that already finished
+(found a solution or exhausted their budget): on mixed-length chain
+sets the scan cost drops while the *walks themselves are untouched* --
+every chain still produces byte-identical assignments and effort
+counters to a standalone single-seed run.
+:func:`repro.csp.vectorized.last_batch_diagnostics` exposes the row
+accounting this suite pins down.
+"""
+
+import time
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.csp.minconflicts import MinConflictsSolver
+from repro.csp.random_networks import random_network
+from repro.csp.vectorized import (
+    ENGINE_BITSET,
+    ENGINE_NUMPY,
+    batch_min_conflicts,
+    last_batch_diagnostics,
+)
+
+#: Loose network: some seeds converge in a handful of steps, others
+#: wander much longer -- exactly the mixed-length regime.
+NETWORK = random_network(12, 4, 0.4, 0.25, seed=2)
+SEEDS = list(range(8))
+BUDGETS = {"max_steps": 200, "max_restarts": 3}
+
+
+def test_chains_match_standalone_runs():
+    batch = batch_min_conflicts(
+        NETWORK, SEEDS, engine=ENGINE_NUMPY, **BUDGETS
+    )
+    for seed, result in zip(SEEDS, batch):
+        solo = MinConflictsSolver(
+            seed=seed, engine=ENGINE_BITSET, **BUDGETS
+        ).solve(NETWORK)
+        assert result.assignment == solo.assignment
+        assert result.stats.nodes == solo.stats.nodes
+        assert result.stats.restarts == solo.stats.restarts
+        assert (
+            result.stats.consistency_checks == solo.stats.consistency_checks
+        )
+
+
+def test_finished_rows_are_skipped():
+    batch_min_conflicts(NETWORK, SEEDS, engine=ENGINE_NUMPY, **BUDGETS)
+    diag = last_batch_diagnostics()
+    assert diag["chains"] == len(SEEDS)
+    assert diag["rounds"] > 0
+    # Chains finish at different rounds, so the gather must touch
+    # strictly fewer rows than the dense rounds x chains plane.
+    assert diag["rows_scanned"] < diag["rounds"] * diag["chains"]
+
+
+def test_single_chain_scans_every_round():
+    batch_min_conflicts(NETWORK, [3], engine=ENGINE_NUMPY, **BUDGETS)
+    diag = last_batch_diagnostics()
+    assert diag["chains"] == 1
+    assert diag["rows_scanned"] == diag["rounds"]
+
+
+def test_deadline_cuts_the_batch_short():
+    hard = random_network(
+        30, 6, 0.4, 0.5, seed=4, plant_solution=False
+    )
+    start = time.perf_counter()
+    results = batch_min_conflicts(
+        hard,
+        SEEDS,
+        max_steps=1_000_000,
+        max_restarts=1_000,
+        engine=ENGINE_NUMPY,
+        deadline_at=time.monotonic() + 0.2,
+    )
+    elapsed = time.perf_counter() - start
+    assert elapsed < 5.0
+    assert all(result.assignment is None for result in results)

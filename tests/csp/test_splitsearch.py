@@ -1,0 +1,259 @@
+"""Space-splitting parallel search: determinism, stealing, streaming.
+
+The split solver's contract is *byte-identity*: for any worker count
+and any steal schedule, the returned assignment and the accounted
+effort counters equal the serial
+:class:`~repro.csp.forward_checking.ForwardCheckingSolver` run.  The
+property test drives that contract over random networks spanning the
+phase transition, with workers in {1, 2, 4} and *randomized* inline
+completion/steal schedules (the `_InlineRunner` seam executes subtrees
+in arbitrary orders without paying for processes); one test runs a
+real 2-process pool end-to-end.
+"""
+
+import os
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csp.compiled import compile_network, enumerate_solutions
+from repro.csp.forward_checking import ForwardCheckingSolver
+from repro.csp.random_networks import random_network
+from repro.csp.splitsearch import (
+    SEARCH_AUTO,
+    SEARCH_ENV,
+    SEARCH_SERIAL,
+    SEARCH_SPLIT,
+    SplitSearchSolver,
+    _InlineRunner,
+    default_split_workers,
+    enumerate_solutions_parallel,
+    resolve_search,
+)
+
+
+def _serial(network):
+    return ForwardCheckingSolver().solve(network)
+
+
+def _core(stats) -> tuple:
+    """The counters the determinism contract covers."""
+    return (stats.nodes, stats.backtracks, stats.consistency_checks)
+
+
+def _split_solver(workers: int, schedule_seed: int | None = None, **kwargs):
+    """An inline split solver with an optional randomized schedule."""
+    if schedule_seed is not None:
+        schedule_rng = random.Random(schedule_seed)
+        kwargs.setdefault("steal_rng", random.Random(schedule_seed + 1))
+        kwargs["runner_factory"] = lambda kernel, _: _InlineRunner(
+            kernel, schedule_rng
+        )
+    else:
+        kwargs.setdefault(
+            "runner_factory", lambda kernel, _: _InlineRunner(kernel)
+        )
+    return SplitSearchSolver(workers=workers, search=SEARCH_SPLIT, **kwargs)
+
+
+class TestResolveSearch:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(SEARCH_ENV, "split")
+        assert resolve_search(SEARCH_SERIAL) == SEARCH_SPLIT
+        monkeypatch.setenv(SEARCH_ENV, "serial")
+        assert resolve_search(SEARCH_SPLIT) == SEARCH_SERIAL
+
+    def test_auto_is_not_overridden_to_itself(self, monkeypatch):
+        monkeypatch.delenv(SEARCH_ENV, raising=False)
+        assert resolve_search(SEARCH_AUTO) == SEARCH_AUTO
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPLIT_WORKERS", "3")
+        assert default_split_workers() == 3
+
+    def test_bad_search_rejected(self):
+        with pytest.raises(ValueError):
+            SplitSearchSolver(search="warp")
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("tightness", [0.25, 0.45])
+    @pytest.mark.parametrize("plant", [True, False])
+    def test_matches_serial_forward_checking(self, tightness, plant):
+        network = random_network(
+            10, 4, 0.5, tightness, seed=7, plant_solution=plant
+        )
+        serial = _serial(network)
+        solver = _split_solver(workers=4)
+        try:
+            result = solver.solve(network)
+        finally:
+            solver.close()
+        assert result.assignment == serial.assignment
+        assert result.complete == serial.complete
+        assert _core(result.stats) == _core(serial.stats)
+
+    def test_serial_mode_is_plain_forward_checking(self):
+        network = random_network(8, 3, 0.6, 0.3, seed=3)
+        serial = _serial(network)
+        result = SplitSearchSolver(search=SEARCH_SERIAL).solve(network)
+        assert result.assignment == serial.assignment
+        assert _core(result.stats) == _core(serial.stats)
+        assert result.stats.search == SEARCH_SERIAL
+        assert result.stats.subtrees == 0
+
+    def test_auto_stays_serial_on_easy_instances(self):
+        network = random_network(6, 3, 0.5, 0.2, seed=1)
+        result = SplitSearchSolver(search=SEARCH_AUTO).solve(network)
+        assert result.stats.search == SEARCH_SERIAL
+
+    def test_auto_escalates_past_the_serial_budget(self):
+        network = random_network(
+            24, 4, 0.4, 0.42, seed=11, plant_solution=False
+        )
+        serial = _serial(network)
+        solver = SplitSearchSolver(
+            search=SEARCH_AUTO,
+            workers=2,
+            serial_budget=64,
+            runner_factory=lambda kernel, _: _InlineRunner(kernel),
+        )
+        try:
+            result = solver.solve(network)
+        finally:
+            solver.close()
+        if result.stats.search == SEARCH_SPLIT:
+            # The escalated run still reproduces the serial answer and
+            # bills the abandoned serial attempt as speculative effort.
+            assert result.stats.speculative_nodes > 0
+        assert result.assignment == serial.assignment
+        assert _core(result.stats) == _core(serial.stats)
+
+    def test_deadline_expiry_is_incomplete(self):
+        network = random_network(
+            40, 8, 0.2, 0.45, seed=5, plant_solution=False
+        )
+        solver = _split_solver(workers=2)
+        solver.set_deadline(0.0)
+        try:
+            result = solver.solve(network)
+        finally:
+            solver.close()
+        assert result.assignment is None
+        assert not result.complete
+
+
+class TestWorkStealing:
+    def test_steals_are_counted_and_harmless(self):
+        network = random_network(
+            30, 6, 0.2, 0.45, seed=1, plant_solution=False
+        )
+        serial = _serial(network)
+        # A randomized schedule makes some lane run dry while peers
+        # are loaded, forcing steals.
+        stolen = 0
+        for schedule_seed in range(8):
+            solver = _split_solver(workers=4, schedule_seed=schedule_seed)
+            try:
+                result = solver.solve(network)
+            finally:
+                solver.close()
+            assert result.assignment == serial.assignment
+            assert _core(result.stats) == _core(serial.stats)
+            stolen += result.stats.steals
+        assert stolen > 0
+
+
+@st.composite
+def transition_networks(draw):
+    """Random networks straddling the SAT/UNSAT phase transition."""
+    variables = draw(st.integers(6, 14))
+    domain = draw(st.integers(3, 5))
+    density = draw(st.floats(0.3, 0.8))
+    tightness = draw(st.floats(0.2, 0.5))
+    seed = draw(st.integers(0, 10_000))
+    plant = draw(st.booleans())
+    return random_network(
+        variables, domain, density, tightness, seed=seed, plant_solution=plant
+    )
+
+
+class TestDeterminismProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        network=transition_networks(),
+        workers=st.sampled_from([1, 2, 4]),
+        schedule_seed=st.integers(0, 1_000),
+    )
+    def test_any_worker_count_and_steal_schedule(
+        self, network, workers, schedule_seed
+    ):
+        serial = _serial(network)
+        solver = _split_solver(workers=workers, schedule_seed=schedule_seed)
+        try:
+            result = solver.solve(network)
+        finally:
+            solver.close()
+        assert result.assignment == serial.assignment
+        assert result.complete == serial.complete
+        assert _core(result.stats) == _core(serial.stats)
+
+
+class TestStreamingEnumeration:
+    def test_matches_serial_enumeration(self):
+        network = random_network(9, 3, 0.5, 0.3, seed=23)
+        kernel = compile_network(network)
+        expected = enumerate_solutions(kernel, 12)
+        streamed = list(enumerate_solutions_parallel(network, 12, workers=1))
+        assert streamed == expected
+
+    def test_limit_stops_the_stream(self):
+        network = random_network(9, 3, 0.4, 0.2, seed=29)
+        kernel = compile_network(network)
+        expected = enumerate_solutions(kernel, 3)
+        streamed = list(enumerate_solutions_parallel(network, 3, workers=1))
+        assert streamed == expected
+        assert len(streamed) <= 3
+
+    def test_unsat_stream_is_empty(self):
+        network = random_network(
+            8, 3, 0.9, 0.6, seed=31, plant_solution=False
+        )
+        assert list(enumerate_solutions_parallel(network, 5, workers=1)) == []
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_POOL_TESTS") == "1",
+    reason="process-pool tests disabled",
+)
+class TestRealPool:
+    def test_two_process_pool_matches_serial(self):
+        network = random_network(
+            12, 4, 0.5, 0.4, seed=37, plant_solution=False
+        )
+        serial = _serial(network)
+        solver = SplitSearchSolver(workers=2, search=SEARCH_SPLIT)
+        try:
+            result = solver.solve(network)
+            assert result.assignment == serial.assignment
+            assert result.complete == serial.complete
+            assert _core(result.stats) == _core(serial.stats)
+            assert result.stats.workers == 2
+            # Warm pool: a second solve on a different network reuses
+            # the workers and reships the changed kernel.
+            other = random_network(10, 4, 0.5, 0.35, seed=41)
+            expected = _serial(other)
+            again = solver.solve(other)
+            assert again.assignment == expected.assignment
+            assert _core(again.stats) == _core(expected.stats)
+        finally:
+            solver.close()
+
+    def test_pool_enumeration_matches_serial(self):
+        network = random_network(9, 3, 0.5, 0.3, seed=43)
+        kernel = compile_network(network)
+        expected = enumerate_solutions(kernel, 8)
+        streamed = list(enumerate_solutions_parallel(network, 8, workers=2))
+        assert streamed == expected

@@ -297,3 +297,103 @@ class TestOptimizerIntegration:
         outcome = LayoutOptimizer(scheme=config).optimize(program)
         assert outcome.scheme == "portfolio:enhanced"
         assert outcome.exact
+
+
+class _CooperativeSleeper:
+    """Sleeps forever *unless* a deadline was propagated to it.
+
+    The observable for deadline propagation: before the portfolio
+    forwarded its remaining budget into each scheme, this solver slept
+    the full SLEEP_SECONDS and had to be terminated ("timeout"); with
+    propagation it stops itself and reports "gave-up".
+    """
+
+    name = "cooperative"
+
+    def __init__(self):
+        self.deadline_seconds = None
+
+    def set_deadline(self, seconds: float) -> None:
+        self.deadline_seconds = seconds
+
+    def solve(self, network) -> SolverResult:
+        if self.deadline_seconds is None:
+            time.sleep(SLEEP_SECONDS)
+            return SolverResult(None, SolverStats(), complete=False)
+        # Honor the budget with slack to spare: stop at 20% of it.
+        deadline_at = time.monotonic() + self.deadline_seconds * 0.2
+        while time.monotonic() < deadline_at:
+            time.sleep(0.01)
+        return SolverResult(None, SolverStats(), complete=False)
+
+
+@pytest.fixture
+def cooperative_scheme():
+    EXTRA_SCHEMES["cooperative"] = lambda seed: _CooperativeSleeper()
+    try:
+        yield "cooperative"
+    finally:
+        EXTRA_SCHEMES.pop("cooperative", None)
+
+
+@pytest.fixture
+def cooperative_pair():
+    EXTRA_SCHEMES["cooperative-a"] = lambda seed: _CooperativeSleeper()
+    EXTRA_SCHEMES["cooperative-b"] = lambda seed: _CooperativeSleeper()
+    try:
+        yield ("cooperative-a", "cooperative-b")
+    finally:
+        EXTRA_SCHEMES.pop("cooperative-a", None)
+        EXTRA_SCHEMES.pop("cooperative-b", None)
+
+
+class TestDeadlinePropagation:
+    def test_sequential_scheme_stops_itself(self, cooperative_scheme):
+        """Sequential mode forwards the remaining budget into the
+        scheme, which stops mid-search -- previously the deadline was
+        only checked *between* schemes and a slow scheme burned its
+        full solve."""
+        program = parse_program(FIGURE2)
+        config = PortfolioConfig(
+            schemes=(cooperative_scheme, "enhanced"),
+            deadline_seconds=2.0,
+            parallel=False,
+        )
+        start = time.perf_counter()
+        result = PortfolioSolver(config).optimize(program)
+        elapsed = time.perf_counter() - start
+        assert elapsed < SLEEP_SECONDS / 2
+        statuses = {o.scheme: o.status for o in result.outcomes}
+        assert statuses[cooperative_scheme] == "gave-up"
+        # The fast scheme still ran inside the same race budget.
+        assert result.winner == "enhanced"
+
+    def test_parallel_racer_receives_the_deadline(self, cooperative_pair):
+        """Racing children get the absolute deadline across the fork:
+        the cooperative schemes report their own give-up instead of
+        being terminated."""
+        program = parse_program(FIGURE2)
+        config = PortfolioConfig(
+            schemes=cooperative_pair,
+            deadline_seconds=5.0,
+            parallel=True,
+        )
+        start = time.perf_counter()
+        result = PortfolioSolver(config).optimize(program)
+        elapsed = time.perf_counter() - start
+        assert elapsed < SLEEP_SECONDS / 2
+        statuses = {o.scheme: o.status for o in result.outcomes}
+        assert statuses[cooperative_pair[0]] == "gave-up"
+        assert statuses[cooperative_pair[1]] == "gave-up"
+        assert result.winner == "weighted-fallback"
+
+    def test_split_racer_in_a_deadlined_race(self):
+        """A split:N racer composes with the deadline plumbing and
+        still wins easy races exactly."""
+        program = parse_program(FIGURE2)
+        config = PortfolioConfig(
+            schemes=("split:2",), deadline_seconds=30.0, parallel=False
+        )
+        result = PortfolioSolver(config).optimize(program)
+        assert result.winner == "split:2"
+        assert result.exact
