@@ -1,11 +1,12 @@
-"""Propagation-kernel throughput: numpy engine vs bitset engine.
+"""Propagation-kernel throughput: native vs numpy vs bitset engines.
 
-Not a paper table -- this gates the vectorized kernel
-(:mod:`repro.csp.vectorized`): on the Table 2 benchmark suite, a fixed
-per-network solver mix must run **>= 3x** faster through the numpy
-engine than through the bitset engine, while returning **byte-identical**
-solutions, RNG streams and effort counters (nodes, backtracks,
-backjumps, consistency checks, restarts).
+Not a paper table -- this gates the engine ladder: on the Table 2
+benchmark suite, a fixed per-network solver mix must run **>= 3x**
+faster through the numpy engine than through the bitset engine, and
+**>= 2x** faster again through the native C engine
+(:mod:`repro.csp.native`) than through numpy, while all three return
+**byte-identical** solutions, RNG streams and effort counters (nodes,
+backtracks, backjumps, consistency checks, restarts).
 
 The mix per network is the propagation-dominated serving work one
 request fans out into:
@@ -22,8 +23,12 @@ timing gate; parity is asserted either way):
 
 * ``REPRO_BENCH_MC_STEPS``    -- per-chain step budget (default 600);
 * ``REPRO_BENCH_MC_CHAINS``   -- chains per network (default 16);
-* ``REPRO_BENCH_KERNEL_GATE`` -- set to ``0`` to report the speedup
-  without failing below 3x (shared CI runners time unreliably).
+* ``REPRO_BENCH_KERNEL_GATE`` -- set to ``0`` to report the numpy
+  speedup without failing below 3x (shared CI runners time
+  unreliably);
+* ``REPRO_BENCH_NATIVE_GATE`` -- the native-vs-numpy gate: ``0``
+  reports without failing, any other value is the required multiple
+  (default ``2``).  Skipped entirely on compilerless hosts.
 
 Run:  pytest benchmarks/bench_kernel_throughput.py --benchmark-only -s
 """
@@ -51,6 +56,12 @@ MC_RESTARTS = 2
 #: Timing gate (>= 3x); parity is always asserted.
 GATE = os.environ.get("REPRO_BENCH_KERNEL_GATE", "1") != "0"
 REQUIRED_SPEEDUP = 3.0
+
+#: Native-vs-numpy gate: "0" reports only, anything else is the
+#: required multiple (default 2x).
+_NATIVE_GATE_RAW = os.environ.get("REPRO_BENCH_NATIVE_GATE", "2").strip()
+NATIVE_GATE = _NATIVE_GATE_RAW != "0"
+NATIVE_REQUIRED_SPEEDUP = float(_NATIVE_GATE_RAW) if NATIVE_GATE else 0.0
 
 #: Observability overhead gate: the traced mix may cost at most 3%
 #: over the untraced mix (``REPRO_BENCH_OBS_GATE=0`` reports without
@@ -104,7 +115,19 @@ def _run_mix(kernel, engine: str) -> tuple[dict, dict[str, float]]:
     return observed, seconds
 
 
-@pytest.mark.parametrize("engine", ["bitset", "numpy"])
+def _native_param():
+    from repro.csp.vectorized import native_available
+
+    return pytest.param(
+        "native",
+        marks=pytest.mark.skipif(
+            not native_available(),
+            reason="native kernel unavailable (no C compiler, no cache)",
+        ),
+    )
+
+
+@pytest.mark.parametrize("engine", ["bitset", "numpy", _native_param()])
 def test_kernel_throughput(benchmark, engine, networks):
     """Time the full-suite mix once per engine (one-shot, like Table 2)."""
     kernels = {name: networks[name].kernel() for name in BENCHMARK_NAMES}
@@ -114,6 +137,13 @@ def test_kernel_throughput(benchmark, engine, networks):
         # which is the throughput being modelled here.
         for kernel in kernels.values():
             as_vectorized(kernel)
+    if engine == "native":
+        # Same resident-worker model: compile/load the shared library
+        # and lower each kernel once before the clock starts.
+        from repro.csp.native.ops import as_native
+
+        for kernel in kernels.values():
+            as_native(kernel)
 
     def run_suite():
         observed: dict[str, dict] = {}
@@ -137,32 +167,41 @@ def test_kernel_throughput(benchmark, engine, networks):
 
 
 def test_parity_and_speedup(benchmark):
-    """Byte-identical observables; >= 3x suite throughput (gated)."""
+    """Byte-identical observables; gated suite throughput per tier."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    assert set(_runs) == {"bitset", "numpy"}, "run the two engine benchmarks"
+    assert {"bitset", "numpy"} <= set(_runs), "run the engine benchmarks first"
     bitset, numpy_run = _runs["bitset"], _runs["numpy"]
+    native_run = _runs.get("native")  # absent on compilerless hosts
 
     # Parity: solutions, UNSAT/completeness verdicts, RNG-stream-pinned
     # effort counters, AC-3 domains and revision counts -- everything
-    # observable must match byte for byte.
+    # observable must match byte for byte across every engine that ran.
     for name in BENCHMARK_NAMES:
         assert bitset["observed"][name] == numpy_run["observed"][name], name
+        if native_run is not None:
+            assert bitset["observed"][name] == native_run["observed"][name], name
 
+    timed = {"bitset": bitset, "numpy": numpy_run}
+    if native_run is not None:
+        timed["native"] = native_run
     rows = []
     for name in BENCHMARK_NAMES:
-        cold, warm = bitset["seconds"][name], numpy_run["seconds"][name]
+        per_engine = {eng: run["seconds"][name] for eng, run in timed.items()}
         rows.append(
             [
                 name,
                 *(
-                    f"{cold[op] * 1e3:.1f} / {warm[op] * 1e3:.1f}"
+                    " / ".join(
+                        f"{per_engine[eng][op] * 1e3:.1f}" for eng in timed
+                    )
                     for op in ("ac3", "enhanced", "fc", "minconflicts")
                 ),
-                f"{sum(cold.values()) / sum(warm.values()):.2f}x",
+                f"{sum(per_engine['bitset'].values()) / sum(per_engine[list(timed)[-1]].values()):.2f}x",
             ]
         )
     speedup = bitset["elapsed"] / numpy_run["elapsed"]
-    print("\n\n=== Propagation-kernel throughput (ms bitset / ms numpy) ===")
+    tiers = " / ".join(f"ms {eng}" for eng in timed)
+    print(f"\n\n=== Propagation-kernel throughput ({tiers}) ===")
     print(
         format_table(
             ["Benchmark", "ac3", "enhanced", "fc", f"mc x{MC_CHAINS}", "speedup"],
@@ -175,10 +214,31 @@ def test_parity_and_speedup(benchmark):
         f"(gate {'>= %.1fx' % REQUIRED_SPEEDUP if GATE else 'off'})"
     )
     benchmark.extra_info.update({"speedup": speedup, "gated": GATE})
+    if native_run is not None:
+        native_speedup = numpy_run["elapsed"] / native_run["elapsed"]
+        native_vs_bitset = bitset["elapsed"] / native_run["elapsed"]
+        print(
+            f"native: {native_run['elapsed']:.3f}s -> {native_speedup:.2f}x "
+            f"over numpy, {native_vs_bitset:.2f}x over bitset "
+            f"(gate {'>= %.1fx' % NATIVE_REQUIRED_SPEEDUP if NATIVE_GATE else 'off'})"
+        )
+        benchmark.extra_info.update(
+            {
+                "native_speedup_vs_numpy": native_speedup,
+                "native_speedup_vs_bitset": native_vs_bitset,
+                "native_gated": NATIVE_GATE,
+            }
+        )
     if GATE:
         assert speedup >= REQUIRED_SPEEDUP, (
             f"numpy engine is {speedup:.2f}x the bitset engine; "
             f"the vectorized kernel must deliver >= {REQUIRED_SPEEDUP}x"
+        )
+    if native_run is not None and NATIVE_GATE:
+        assert native_speedup >= NATIVE_REQUIRED_SPEEDUP, (
+            f"native engine is {native_speedup:.2f}x the numpy engine; "
+            f"the C kernel must deliver >= {NATIVE_REQUIRED_SPEEDUP}x "
+            f"(tune with REPRO_BENCH_NATIVE_GATE)"
         )
 
 

@@ -12,6 +12,10 @@ daemon twice and asserts:
   least one warm worker **attached** the shared-memory vectorized
   kernel published by a sibling (the ``engines`` breakdown in the
   daemon's ``stats`` response) instead of rebuilding it per process;
+* the ``engines`` breakdown attributes the first pass's worker
+  misses to some propagation tier (``native``/``numpy``/``bitset``;
+  which one the ``auto`` crossover picks is host- and size-dependent,
+  but a silent zero row means the telemetry seam broke);
 * every request is sent with ``"trace": true`` and every response's
   span tree contains a ``cache_lookup`` phase;
 * the ``metrics`` request kind answers with parseable Prometheus text
@@ -182,6 +186,16 @@ def main(argv: list[str]) -> int:
             )
             return 1
         print(f"OK: {attached} shared-kernel attach(es) across warm workers")
+
+    tier_total = sum(engines.get(tier, 0) for tier in ("native", "numpy", "bitset"))
+    if tier_total < 1:
+        print(
+            "FAIL: the first pass dispatched misses to workers, so the "
+            f"engine breakdown cannot be empty (engines={engines})"
+        )
+        return 1
+    if engines.get("native", 0):
+        print(f"OK: {engines['native']} miss(es) served by the native tier")
 
     if trace_log is not None:
         # Span trees are teed before each response is written, so the

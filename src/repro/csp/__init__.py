@@ -42,6 +42,7 @@ from repro.csp.vectorized import (
     VectorizedKernel,
     as_vectorized,
     batch_min_conflicts,
+    native_available,
     numpy_available,
     resolve_engine,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "VectorizedKernel",
     "as_vectorized",
     "batch_min_conflicts",
+    "native_available",
     "numpy_available",
     "resolve_engine",
     "SolverStats",

@@ -44,6 +44,7 @@ from repro.csp.vectorized import (
     ENGINE_AUTO,
     ENGINE_BITSET,
     ENGINE_ENV,
+    ENGINE_NATIVE,
     ENGINE_NUMPY,
     as_vectorized,
     resolve_engine,
@@ -83,7 +84,10 @@ def ac3(
     network when the result is consistent.
     """
     kernel = as_compiled(network)
-    if resolve_engine(engine, kernel) == ENGINE_NUMPY:
+    resolved = resolve_engine(engine, kernel)
+    if resolved == ENGINE_NATIVE:
+        return _ac3_native(kernel)
+    if resolved == ENGINE_NUMPY:
         # The per-arc crossover applies only to a genuine ``auto``:
         # an explicit spec or the environment override pins one engine
         # for the whole run (kernel-parity CI forces pure numpy).
@@ -156,6 +160,30 @@ def _requeue_neighbors(
         if arc not in pending:
             pending.add(arc)
             queue.append(arc)
+
+
+def _ac3_native(kernel: CompiledNetwork) -> ArcConsistencyResult:
+    """The whole AC-3 run -- queue discipline included -- in C.
+
+    The native kernel replicates the seeding order, the pending-set
+    dedup and the requeue wave exactly, so revisions, removed counts
+    and the reduced domains match the bitset loop bit for bit.  Every
+    arc is revised natively (no per-arc engine split: the C revision
+    beats the bitset loop at every measured arc width).
+    """
+    from repro.csp.native import ops as native_ops
+
+    consistent, masks, revisions, removed = native_ops.ac3(kernel)
+    engines = {ENGINE_NATIVE: revisions}
+    if not consistent:
+        return ArcConsistencyResult(False, {}, revisions, removed, engines)
+    domains = {
+        kernel.names[i]: tuple(
+            kernel.domains[i][value] for value in iter_bits(masks[i])
+        )
+        for i in range(kernel.variable_count)
+    }
+    return ArcConsistencyResult(True, domains, revisions, removed, engines)
 
 
 def _ac3_numpy(

@@ -39,6 +39,7 @@ from repro.csp.network import ConstraintNetwork
 from repro.csp.stats import SolverResult, SolverStats, Stopwatch
 from repro.csp.vectorized import (
     ENGINE_AUTO,
+    ENGINE_NATIVE,
     ENGINE_NUMPY,
     ENGINES,
     MaskedLexArgmin,
@@ -217,10 +218,17 @@ class SearchEngine:
         )
         complete = True
         vec = None
-        if (
-            self._config.variable_ordering or self._config.value_ordering
-        ) and resolve_engine(self._config.engine, kernel) == ENGINE_NUMPY:
-            vec = _VecOrderings(as_vectorized(kernel))
+        if self._config.variable_ordering or self._config.value_ordering:
+            resolved = resolve_engine(self._config.engine, kernel)
+            if resolved == ENGINE_NUMPY:
+                vec = _VecOrderings(as_vectorized(kernel))
+            elif resolved == ENGINE_NATIVE:
+                # Same interface as _VecOrderings (select / order /
+                # mutable unassigned indicator), heuristics evaluated
+                # by the C kernel with the identical key encoding.
+                from repro.csp.native.ops import NativeOrderings
+
+                vec = NativeOrderings(kernel)
         with obs_trace.span("csp_search", jump_mode=self._config.jump_mode) as sp:
             with Stopwatch(stats):
                 values: list[int | None] = [None] * kernel.variable_count

@@ -26,6 +26,7 @@ from repro.csp.network import ConstraintNetwork
 from repro.csp.stats import SolverResult, SolverStats, Stopwatch
 from repro.csp.vectorized import (
     ENGINE_AUTO,
+    ENGINE_NATIVE,
     ENGINE_NUMPY,
     MaskedLexArgmin,
     as_vectorized,
@@ -118,18 +119,21 @@ class ForwardCheckingSolver:
         ``time.monotonic()`` timestamp overriding :meth:`set_deadline`.
         """
         kernel = as_compiled(network)
-        vec = None
-        if resolve_engine(self._engine, kernel) == ENGINE_NUMPY:
-            vec = _VecSelection(as_vectorized(kernel))
-            for i in range(kernel.variable_count):
-                vec.popcounts[i] = domains[i].bit_count()
-                vec.assigned[i] = values[i] is not None
+        resolved = resolve_engine(self._engine, kernel)
         if deadline_at is not None:
             self._deadline_at = deadline_at
         elif self._deadline_seconds is not None:
             self._deadline_at = time.monotonic() + self._deadline_seconds
         else:
             self._deadline_at = None
+        if resolved == ENGINE_NATIVE:
+            return self._solve_native(kernel, values, domains, assigned)
+        vec = None
+        if resolved == ENGINE_NUMPY:
+            vec = _VecSelection(as_vectorized(kernel))
+            for i in range(kernel.variable_count):
+                vec.popcounts[i] = domains[i].bit_count()
+                vec.assigned[i] = values[i] is not None
         stats = SolverStats()
         complete = True
         with Stopwatch(stats):
@@ -139,6 +143,41 @@ class ForwardCheckingSolver:
                 solution = None
                 complete = False
         return SolverResult(solution, stats, complete=complete)
+
+    def _solve_native(
+        self,
+        kernel: CompiledNetwork,
+        values: list[int | None],
+        domains: list[int],
+        assigned: int,
+    ) -> SolverResult:
+        """The whole search -- MRV, pruning, undo -- as one C call.
+
+        Byte-identical to the Python search: same tree walk, same
+        effort counters, same cutoff semantics (a budget or deadline
+        expiry reports ``complete=False`` with no assignment).
+        """
+        from repro.csp.native import ops as native_ops
+
+        stats = SolverStats()
+        with Stopwatch(stats):
+            status, solution, nodes, backtracks, checks = native_ops.fc_search(
+                kernel,
+                values,
+                domains,
+                assigned,
+                self._max_nodes,
+                self._deadline_at,
+            )
+        stats.nodes = nodes
+        stats.backtracks = backtracks
+        stats.consistency_checks = checks
+        assignment = (
+            kernel.to_named(solution) if status == native_ops.FC_FOUND else None
+        )
+        return SolverResult(
+            assignment, stats, complete=status != native_ops.FC_CUTOFF
+        )
 
     def _search(
         self,

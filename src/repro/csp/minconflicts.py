@@ -34,6 +34,7 @@ from repro.csp.network import ConstraintNetwork
 from repro.csp.stats import SolverResult, SolverStats, Stopwatch
 from repro.csp.vectorized import (
     ENGINE_AUTO,
+    ENGINE_NATIVE,
     ENGINE_NUMPY,
     batch_min_conflicts,
     resolve_engine,
@@ -90,13 +91,13 @@ class MinConflictsSolver:
             if self._deadline_seconds is not None
             else None
         )
-        if engine == ENGINE_NUMPY:
+        if engine in (ENGINE_NUMPY, ENGINE_NATIVE):
             return batch_min_conflicts(
                 kernel,
                 [self._seed],
                 max_steps=self._max_steps,
                 max_restarts=self._max_restarts,
-                engine=ENGINE_NUMPY,
+                engine=engine,
                 deadline_at=deadline_at,
             )[0]
         stats = SolverStats()

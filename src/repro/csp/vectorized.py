@@ -62,20 +62,48 @@ Value = Hashable
 #: Engine spec tokens accepted everywhere an ``engine=`` knob exists.
 ENGINE_BITSET = "bitset"
 ENGINE_NUMPY = "numpy"
+ENGINE_NATIVE = "native"
 ENGINE_AUTO = "auto"
-ENGINES = (ENGINE_AUTO, ENGINE_BITSET, ENGINE_NUMPY)
+ENGINES = (ENGINE_AUTO, ENGINE_BITSET, ENGINE_NUMPY, ENGINE_NATIVE)
 
 #: Environment override consulted by ``engine="auto"`` resolution; set
-#: to ``bitset`` or ``numpy`` to force one engine process-wide (the
-#: service CLI's ``--engine`` writes this so racing worker processes
-#: inherit the choice).
+#: to ``bitset``, ``numpy`` or ``native`` to force one engine
+#: process-wide (the service CLI's ``--engine`` writes this so racing
+#: worker processes inherit the choice).
 ENGINE_ENV = "REPRO_CSP_ENGINE"
+
+
+def _env_cells(name: str, default: int) -> int:
+    """An integer tuning knob with an environment override.
+
+    ``scripts/calibrate_crossovers.py`` measures the host's actual
+    crossover points and prints ready-to-paste ``export`` lines for
+    these variables; unparseable values fall back to the default.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        logger.warning("ignoring non-integer %s=%r", name, raw)
+        return default
+
 
 #: ``auto`` picks numpy only when the network carries at least this
 #: many directed support cells (sum of ``|D_i| * |D_j|`` over directed
 #: constrained pairs): below it, per-call array dispatch overhead
-#: exceeds what Python machine-int bitsets already cost.
-AUTO_MIN_SUPPORT_CELLS = 256
+#: exceeds what Python machine-int bitsets already cost.  Override
+#: with ``REPRO_AUTO_MIN_SUPPORT_CELLS``.
+AUTO_MIN_SUPPORT_CELLS = _env_cells("REPRO_AUTO_MIN_SUPPORT_CELLS", 256)
+
+#: ``auto`` prefers the native C kernel from this many directed
+#: support cells up (when a compiled kernel is available).  The native
+#: per-call overhead is a single ctypes dispatch -- far below numpy's
+#: per-op array dispatch -- so its crossover against the pure-Python
+#: bitset loops sits much lower than numpy's.  Override with
+#: ``REPRO_NATIVE_MIN_SUPPORT_CELLS``.
+NATIVE_MIN_SUPPORT_CELLS = _env_cells("REPRO_NATIVE_MIN_SUPPORT_CELLS", 64)
 
 #: ``auto`` falls back to bitsets when the padded support tensor would
 #: exceed this many bytes (pathologically large random networks).
@@ -90,13 +118,56 @@ AUTO_MAX_TENSOR_BYTES = 32 * 1024 * 1024
 #: at 4096).  ``ac3(engine="auto")`` therefore revises below-threshold
 #: arcs with bitsets even when the network as a whole resolves to the
 #: numpy engine; explicit ``engine=`` specs and the :data:`ENGINE_ENV`
-#: override keep the single-engine behavior.
-AC3_ARC_CROSSOVER_CELLS = 900
+#: override keep the single-engine behavior.  (The native engine has
+#: no such split: its per-arc revision beats the bitset loop at every
+#: measured width, so a native AC-3 run revises every arc natively.)
+#: Override with ``REPRO_AC3_ARC_CROSSOVER_CELLS``.
+AC3_ARC_CROSSOVER_CELLS = _env_cells("REPRO_AC3_ARC_CROSSOVER_CELLS", 900)
 
 
 def numpy_available() -> bool:
     """True when the numpy engine can run in this process."""
     return np is not None
+
+
+def _native_usable() -> bool:
+    """True when the native C kernel can run in this process.
+
+    The first call may compile the kernel (cached on disk thereafter);
+    the loaded-or-failed outcome is memoized by the build module, so
+    subsequent engine resolutions cost one function call.
+    """
+    try:
+        from repro.csp.native import build
+    except ImportError:  # pragma: no cover - package always ships
+        return False
+    return build.usable()
+
+
+def native_available() -> bool:
+    """True when the native engine can run in this process."""
+    return _native_usable()
+
+
+#: Degradation keys already logged by :func:`resolve_engine` -- the
+#: fleet-wide env override must not spam one warning per solver call
+#: on hosts that cannot honor it (each *occurrence* is still counted
+#: through the obs layer).
+_DEGRADATIONS_WARNED: set[str] = set()
+
+
+def _degraded(reason: str, message: str, *args) -> None:
+    """Count an engine degradation; log it once per process."""
+    from repro.obs import metrics as obs_metrics
+
+    obs_metrics.counter(
+        "repro_engine_degradations_total",
+        labels={"reason": reason},
+        help="Engine env-override degradations by reason.",
+    )
+    if reason not in _DEGRADATIONS_WARNED:
+        _DEGRADATIONS_WARNED.add(reason)
+        logger.warning(message, *args)
 
 
 def support_cells(kernel: CompiledNetwork) -> int:
@@ -120,18 +191,26 @@ def _tensor_bytes(kernel: CompiledNetwork) -> int:
 def resolve_engine(
     spec: str, network: ConstraintNetwork | CompiledNetwork
 ) -> str:
-    """Resolve an engine spec to ``"bitset"`` or ``"numpy"``.
+    """Resolve an engine spec to ``"bitset"``, ``"numpy"`` or ``"native"``.
 
     ``auto`` consults the :data:`ENGINE_ENV` environment override
-    first, then a size heuristic (see :data:`AUTO_MIN_SUPPORT_CELLS`
-    and :data:`AUTO_MAX_TENSOR_BYTES`).  An explicit ``"numpy"``
-    without numpy installed raises; the *environment* override
-    degrades to bitsets with a logged warning instead, so a fleet-wide
-    knob never crashes a numpy-free host.
+    first, then a size heuristic: networks at or above
+    :data:`NATIVE_MIN_SUPPORT_CELLS` directed support cells run on the
+    native C kernel when one can be compiled or loaded, the numpy
+    band between :data:`AUTO_MIN_SUPPORT_CELLS` and
+    :data:`AUTO_MAX_TENSOR_BYTES` follows, and everything smaller
+    stays on bitsets.  An explicit ``"numpy"`` without numpy installed
+    (or ``"native"`` without a working compiler or cached kernel)
+    raises; the *environment* override degrades down the ladder --
+    native -> numpy -> bitset -- with a single logged warning per
+    process instead, so a fleet-wide knob never crashes a host that
+    cannot honor it (every degraded call is still counted via the
+    ``repro_engine_degradations_total`` obs counter).
 
     Raises:
         ValueError: for an unknown spec.
-        RuntimeError: for an explicit ``"numpy"`` with numpy missing.
+        RuntimeError: for an explicit ``"numpy"`` with numpy missing,
+            or an explicit ``"native"`` with no usable native kernel.
     """
     if spec not in ENGINES:
         raise ValueError(f"unknown engine {spec!r}; pick one of {ENGINES}")
@@ -141,22 +220,49 @@ def resolve_engine(
             return ENGINE_BITSET
         if override == ENGINE_NUMPY:
             if np is None:
-                logger.warning(
+                _degraded(
+                    "numpy-missing",
                     "%s=numpy but numpy is not installed; using bitset",
                     ENGINE_ENV,
                 )
                 return ENGINE_BITSET
             return ENGINE_NUMPY
-        if np is None:
+        if override == ENGINE_NATIVE:
+            if _native_usable():
+                return ENGINE_NATIVE
+            if np is not None:
+                _degraded(
+                    "native-unusable",
+                    "%s=native but no native kernel could be built "
+                    "(no C compiler?); using numpy",
+                    ENGINE_ENV,
+                )
+                return ENGINE_NUMPY
+            _degraded(
+                "native-unusable",
+                "%s=native but no native kernel could be built "
+                "(no C compiler?); using bitset",
+                ENGINE_ENV,
+            )
             return ENGINE_BITSET
         kernel = as_compiled(network)
-        if support_cells(kernel) < AUTO_MIN_SUPPORT_CELLS:
+        cells = support_cells(kernel)
+        if cells >= NATIVE_MIN_SUPPORT_CELLS and _native_usable():
+            return ENGINE_NATIVE
+        if np is None:
+            return ENGINE_BITSET
+        if cells < AUTO_MIN_SUPPORT_CELLS:
             return ENGINE_BITSET
         if _tensor_bytes(kernel) > AUTO_MAX_TENSOR_BYTES:
             return ENGINE_BITSET
         return ENGINE_NUMPY
     if spec == ENGINE_NUMPY and np is None:
         raise RuntimeError("engine='numpy' requested but numpy is not installed")
+    if spec == ENGINE_NATIVE and not _native_usable():
+        raise RuntimeError(
+            "engine='native' requested but the native kernel is unavailable "
+            "(no C compiler on PATH/$CC and no cached build)"
+        )
     return spec
 
 
@@ -417,7 +523,8 @@ def batch_min_conflicts(
     if max_steps <= 0 or max_restarts <= 0:
         raise ValueError("max_steps and max_restarts must be positive")
     kernel = as_compiled(network)
-    if resolve_engine(engine, kernel) == ENGINE_BITSET:
+    resolved = resolve_engine(engine, kernel)
+    if resolved == ENGINE_BITSET:
         from repro.csp.minconflicts import MinConflictsSolver
 
         start = time.perf_counter()
@@ -436,9 +543,47 @@ def batch_min_conflicts(
         for result in results:
             result.stats.time_seconds = elapsed
         return results
+    if resolved == ENGINE_NATIVE:
+        return _batch_min_conflicts_native(
+            kernel, list(seeds), max_steps, max_restarts, deadline_at
+        )
     return _batch_min_conflicts_numpy(
         kernel, list(seeds), max_steps, max_restarts, deadline_at
     )
+
+
+def _batch_min_conflicts_native(
+    kernel: CompiledNetwork,
+    seeds: list[int],
+    max_steps: int,
+    max_restarts: int,
+    deadline_at: float | None = None,
+) -> list[SolverResult]:
+    """One native walk per seed; per-chain parity, batch wall clock.
+
+    Each chain is the whole-walk C loop (no per-step interpreter
+    round-trips), so unlike the numpy engine there is nothing to gain
+    from lockstepping -- sequential chains already amortize the single
+    kernel lowering.
+    """
+    from repro.csp.native import ops as native_ops
+
+    start = time.perf_counter()
+    results = []
+    for seed in seeds:
+        stats = SolverStats()
+        values, nodes, checks, restarts = native_ops.min_conflicts(
+            kernel, seed, max_steps, max_restarts, deadline_at
+        )
+        stats.nodes = nodes
+        stats.consistency_checks = checks
+        stats.restarts = restarts
+        assignment = kernel.to_named(values) if values is not None else None
+        results.append(SolverResult(assignment, stats, complete=False))
+    elapsed = time.perf_counter() - start
+    for result in results:
+        result.stats.time_seconds = elapsed
+    return results
 
 
 class _Chain:

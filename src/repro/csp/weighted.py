@@ -20,8 +20,10 @@ from repro.csp.network import ConstraintNetwork
 from repro.csp.stats import SolverStats, Stopwatch
 from repro.csp.vectorized import (
     ENGINE_AUTO,
+    ENGINE_NATIVE,
     ENGINE_NUMPY,
     as_vectorized,
+    numpy_available,
     resolve_engine,
 )
 
@@ -165,7 +167,14 @@ class BranchAndBoundSolver:
         for (first, second), weight in list(weight_of.items()):
             weight_of[(second, first)] = weight
         vectorized = None
-        if resolve_engine(self._engine, kernel) == ENGINE_NUMPY:
+        resolved = resolve_engine(self._engine, kernel)
+        # Branch-and-bound pricing has no C lowering; the native tier
+        # borrows the numpy frame evaluator when the planes exist and
+        # otherwise runs the plain per-pair loop (same search, same
+        # result either way).
+        if resolved == ENGINE_NUMPY or (
+            resolved == ENGINE_NATIVE and numpy_available()
+        ):
             vectorized = as_vectorized(kernel)
         stats = SolverStats()
         with Stopwatch(stats):

@@ -107,12 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=("auto", "bitset", "numpy"),
+        choices=("auto", "bitset", "numpy", "native"),
         default="auto",
         help=(
             "propagation kernel: the machine-int bitset engine, the "
-            "vectorized numpy engine, or auto-sized per network "
-            "(default auto; results are identical either way)"
+            "vectorized numpy engine, the compiled-C native engine, "
+            "or auto-sized per network (default auto; results are "
+            "identical either way)"
         ),
     )
     parser.add_argument(
@@ -305,10 +306,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         # The env resolution path soft-degrades on numpy-free hosts
         # (right for a fleet-wide knob, wrong for an explicit flag),
         # so reject the impossible request here instead.
-        from repro.csp.vectorized import ENGINE_ENV, numpy_available
+        from repro.csp.vectorized import (
+            ENGINE_ENV,
+            native_available,
+            numpy_available,
+        )
 
         if args.engine == "numpy" and not numpy_available():
             raise SystemExit("--engine numpy requires numpy, which is not installed")
+        if args.engine == "native" and not native_available():
+            raise SystemExit(
+                "--engine native requires a C compiler (cc/gcc/clang) "
+                "or a previously built kernel cache"
+            )
         os.environ[ENGINE_ENV] = args.engine
     try:
         config = PortfolioConfig.parse(

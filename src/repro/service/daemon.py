@@ -44,7 +44,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro import __version__
-from repro.csp.vectorized import numpy_available, unlink_shared
+from repro.csp.vectorized import native_available, numpy_available, unlink_shared
 from repro.ir.program import Program
 from repro.obs import (
     CONTENT_TYPE,
@@ -300,6 +300,7 @@ class SolverDaemon:
         self.engine_counters = {
             "numpy": 0,
             "bitset": 0,
+            "native": 0,
             "shared_attached": 0,
             "shared_published": 0,
             "shared_cached": 0,
@@ -423,6 +424,7 @@ class SolverDaemon:
                 "workers": self._daemon_config.workers,
                 "max_inflight": self._daemon_config.max_inflight,
                 "numpy": numpy_available(),
+                "native": native_available(),
                 "shards": self.cache.shard_count
                 if hasattr(self.cache, "shard_count")
                 else 1,
@@ -510,7 +512,7 @@ class SolverDaemon:
     def _record_engine(self, fingerprint: str, data: dict) -> None:
         """Fold one worker miss's engine telemetry into the breakdown."""
         engine = data.get("engine")
-        if engine in ("numpy", "bitset"):
+        if engine in ("numpy", "bitset", "native"):
             self.engine_counters[engine] += 1
         source = data.get("kernel_source")
         key = {

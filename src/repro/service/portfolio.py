@@ -252,12 +252,15 @@ class PortfolioResult:
         network: the built network with provenance (None when the
             result came from the cache or crossed a process boundary).
         engine: the propagation engine the race resolved to
-            (``"bitset"`` / ``"numpy"``; None for cached results --
-            engine choice never changes the answer, only its cost).
+            (``"bitset"`` / ``"numpy"`` / ``"native"``; None for
+            cached results -- engine choice never changes the answer,
+            only its cost).
         kernel_source: how the vectorized planes were obtained
             (``"cached"`` / ``"attached"`` / ``"published"`` /
-            ``"local"``; None for the bitset engine or cached
-            results).  Serving telemetry, not part of the wire form.
+            ``"local"``; None for cached results and for the bitset
+            and native engines -- the native tier shares its compiled
+            ``.so`` through the on-disk build cache instead of shared
+            memory).  Serving telemetry, not part of the wire form.
     """
 
     program: str

@@ -17,6 +17,7 @@ import pytest
 
 pytest.importorskip("numpy")
 
+from repro.csp import vectorized
 from repro.csp.arc_consistency import ac3
 from repro.csp.network import ConstraintNetwork
 from repro.csp.random_networks import random_network
@@ -27,6 +28,14 @@ from repro.csp.vectorized import (
     ENGINE_ENV,
     ENGINE_NUMPY,
 )
+
+
+@pytest.fixture(autouse=True)
+def _pin_native_off(monkeypatch):
+    """The per-arc numpy/bitset mix only runs when ``auto`` resolves
+    to numpy, so keep the native tier out of the ladder here (its
+    whole-run AC-3 has no per-arc split to observe)."""
+    monkeypatch.setattr(vectorized, "_native_usable", lambda: False)
 
 
 def _small_domain_network():

@@ -104,11 +104,24 @@ def test_resolve_engine_auto_uses_size_threshold(
     kernel, table1_kernel, monkeypatch
 ):
     monkeypatch.delenv(ENGINE_ENV, raising=False)
+    # Pin the native tier off: this test exercises the numpy/bitset
+    # rungs of the ladder, which only decide when native is unusable.
+    monkeypatch.setattr(vectorized, "_native_usable", lambda: False)
     tiny = compile_network(random_network(2, 2, 0.5, 0.3, seed=1))
     assert support_cells(tiny) < AUTO_MIN_SUPPORT_CELLS
     assert resolve_engine("auto", tiny) == "bitset"
     assert support_cells(table1_kernel) >= AUTO_MIN_SUPPORT_CELLS
     assert resolve_engine("auto", table1_kernel) == "numpy"
+
+
+def test_resolve_engine_auto_prefers_native(table1_kernel, monkeypatch):
+    monkeypatch.delenv(ENGINE_ENV, raising=False)
+    monkeypatch.setattr(vectorized, "_native_usable", lambda: True)
+    tiny = compile_network(random_network(2, 2, 0.5, 0.3, seed=1))
+    assert support_cells(tiny) < vectorized.NATIVE_MIN_SUPPORT_CELLS
+    assert resolve_engine("auto", tiny) == "bitset"
+    assert support_cells(table1_kernel) >= vectorized.NATIVE_MIN_SUPPORT_CELLS
+    assert resolve_engine("auto", table1_kernel) == "native"
 
 
 def test_resolve_engine_env_override(kernel, monkeypatch):
@@ -122,6 +135,7 @@ def test_resolve_engine_env_override(kernel, monkeypatch):
 
 def test_resolve_engine_without_numpy(kernel, monkeypatch):
     monkeypatch.setattr(vectorized, "np", None)
+    monkeypatch.setattr(vectorized, "_native_usable", lambda: False)
     assert resolve_engine("auto", kernel) == "bitset"
     with pytest.raises(RuntimeError):
         resolve_engine("numpy", kernel)
