@@ -28,6 +28,21 @@ from repro.opt.optimizer import (
 from repro.opt.heuristic import HeuristicOptimizer
 from repro.opt.dynamic import DynamicLayoutPlanner, DynamicPlan
 from repro.opt.report import format_table, optimization_report
+from repro.opt.passes import (
+    BuildNetworkPass,
+    DynamicLayoutPass,
+    JointSearchPass,
+    Pass,
+    Pipeline,
+    PipelineContext,
+    PipelineError,
+    RefinementPass,
+    RepairInflationPass,
+    SolvePass,
+    TransformSelectionPass,
+    available_passes,
+    register_pass,
+)
 
 __all__ = [
     "BuildOptions",
@@ -45,4 +60,17 @@ __all__ = [
     "DynamicPlan",
     "format_table",
     "optimization_report",
+    "Pass",
+    "Pipeline",
+    "PipelineContext",
+    "PipelineError",
+    "BuildNetworkPass",
+    "SolvePass",
+    "RepairInflationPass",
+    "TransformSelectionPass",
+    "RefinementPass",
+    "JointSearchPass",
+    "DynamicLayoutPass",
+    "available_passes",
+    "register_pass",
 ]

@@ -52,6 +52,9 @@ class DynamicPlan:
         total_cost: analytic cost of the schedule.
         static_cost: cost of the best *single* layout (for comparison).
         changes: number of redistributions the schedule performs.
+        redistribution_cost: total cost the schedule pays for its
+            redistributions (``changes`` x per-change cost; part of
+            ``total_cost``).
     """
 
     array: str
@@ -59,6 +62,7 @@ class DynamicPlan:
     total_cost: float
     static_cost: float
     changes: int
+    redistribution_cost: float = 0.0
 
     @property
     def improvement(self) -> float:
@@ -151,7 +155,14 @@ class DynamicLayoutPlanner:
             sum(stage_costs[stage][layout_index] for stage in range(len(nests)))
             for layout_index in range(len(candidates))
         )
-        return DynamicPlan(array, schedule, total_cost, static_cost, changes)
+        return DynamicPlan(
+            array,
+            schedule,
+            total_cost,
+            static_cost,
+            changes,
+            redistribution_cost=changes * change_cost,
+        )
 
     def plan_all(self, program: Program) -> dict[str, DynamicPlan]:
         """Schedules for every referenced array."""

@@ -1,110 +1,61 @@
-"""The layout optimizer façade.
+"""The layout optimizer façade, as a thin pass-pipeline assembler.
 
-``LayoutOptimizer`` runs the whole pipeline of the paper: build the
-network, solve it with the chosen scheme, and return one layout per
-array.  When the hard network is unsatisfiable (possible: different
-nests may want irreconcilable layouts) the optimizer falls back to the
-weighted branch & bound of :mod:`repro.csp.weighted`, which returns the
+``LayoutOptimizer`` no longer interleaves the paper's phases in one
+monolithic method: each phase is a first-class pass in
+:mod:`repro.opt.passes` (build the network, solve it with the chosen
+scheme or racing portfolio, repair the solution, pick per-nest loop
+restructurings, optionally refine against a cost model), and the
+façade's job is to assemble the default pipeline -- byte-identical
+outcomes to the historical monolith -- or any custom one via the
+``passes=``/``pipeline=`` overrides.  The pipeline runner gives every
+pass its own observability span and a ``repro_pass_seconds{pass}``
+histogram sample, surfaced per-outcome in ``pass_seconds`` and fleet-
+wide in daemon ``stats``.
+
+When the hard network is unsatisfiable (possible: different nests may
+want irreconcilable layouts) the solve pass falls back to the weighted
+branch & bound of :mod:`repro.csp.weighted`, which returns the
 assignment violating the least total nest cost -- the graceful version
 of "no solution exists".
 
-:func:`select_transforms` then picks, per nest, the legal restructuring
-best matched to the *final* layouts; this mirrors how the evaluated
-binaries of Table 3 combine data transformations with (legal, purely
-local) loop restructurings.
+:func:`select_transforms` (re-exported here from
+:mod:`repro.opt.passes.transforms`) picks, per nest, the legal
+restructuring best matched to the *final* layouts; this mirrors how
+the evaluated binaries of Table 3 combine data transformations with
+(legal, purely local) loop restructurings.  The opt-in ``joint`` pass
+searches layouts and transforms together instead.
 """
 
 from __future__ import annotations
 
-import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Mapping
 
-from repro.csp.backjumping import ConflictDirectedSolver
-from repro.csp.backtracking import BacktrackingSolver
 from repro.csp.enhanced import EnhancedSolver, EnhancementConfig
-from repro.csp.forward_checking import ForwardCheckingSolver
-from repro.csp.minconflicts import MinConflictsSolver
 from repro.csp.splitsearch import (
     SEARCH_AUTO,
-    SEARCH_SPLIT,
     SEARCHES,
     SplitSearchSolver,
-    resolve_search,
 )
 from repro.csp.stats import SolverStats
-from repro.csp.weighted import BranchAndBoundSolver
 from repro.ir.program import Program
-from repro.layout.candidates import nest_layout_combos
-from repro.layout.layout import Layout, row_major
-from repro.layout.locality import access_delta, has_spatial_locality, has_temporal_locality
-from repro.obs import metrics as obs_metrics
-from repro.obs import trace as obs_trace
-from repro.opt.network_builder import BuildOptions, LayoutNetwork, build_layout_network
-from repro.transform.catalog import legal_transforms
-from repro.transform.unimodular_loop import LoopTransform
+from repro.layout.layout import Layout
+from repro.opt.network_builder import BuildOptions, LayoutNetwork
+from repro.opt.passes import (
+    Pipeline,
+    PipelineContext,
+    resolve_passes,
+)
 
-#: Scheme name -> solver factory (seed -> solver).  "weighted" is the
-#: branch & bound over the nest-cost weighted network: always returns
-#: an assignment, exact exactly when the hard network is satisfiable.
-_SCHEMES = {
-    "base": lambda seed: BacktrackingSolver(seed=seed),
-    "enhanced": lambda seed: EnhancedSolver(seed=seed),
-    "cbj": lambda seed: ConflictDirectedSolver(seed=seed),
-    "forward-checking": lambda seed: ForwardCheckingSolver(seed=seed),
-    "min-conflicts": lambda seed: MinConflictsSolver(seed=seed),
-    "split": lambda seed: SplitSearchSolver(seed=seed),
-    "weighted": lambda seed: BranchAndBoundSolver(),
-}
-
-
-@dataclass(frozen=True)
-class CandidateScore:
-    """One refinement candidate and how the cost models priced it.
-
-    Attributes:
-        label: provenance ("search" for the solver's own answer,
-            "solution-N" for enumerated alternatives).
-        layouts: the candidate's full layout assignment.
-        analytic_value: the analytic model's estimate (the rank the
-            optimizer would have used without refinement).
-        refined_value: the refining model's score (lower is better).
-        chosen: True for the candidate the refined outcome adopted.
-    """
-
-    label: str
-    layouts: dict[str, Layout]
-    analytic_value: float
-    refined_value: float
-    chosen: bool = False
-
-
-@dataclass(frozen=True)
-class RefinementReport:
-    """What simulation-guided refinement saw and decided.
-
-    Attributes:
-        model: registered name of the refining cost model.
-        candidates: every scored candidate, in scoring order.
-        agreement: Kendall tau between the analytic and refined
-            rankings of the candidates (1.0 = the simulator confirmed
-            the analytic order; low values are where the feedback loop
-            earned its cycles).
-        evaluate_seconds: wall-clock spent scoring candidates.
-    """
-
-    model: str
-    candidates: tuple[CandidateScore, ...]
-    agreement: float
-    evaluate_seconds: float
-
-    @property
-    def chosen(self) -> CandidateScore:
-        """The adopted candidate."""
-        for candidate in self.candidates:
-            if candidate.chosen:
-                return candidate
-        raise ValueError("refinement report has no chosen candidate")
+# Historical homes: the scheme registry, repair fixpoint, transform
+# selection and refinement report types grew up in this module; the
+# service layer and downstream callers import them from here.
+from repro.opt.passes.refine import CandidateScore, RefinementReport  # noqa: F401
+from repro.opt.passes.solve import _SCHEMES, repair_inflation  # noqa: F401
+from repro.opt.passes.transforms import (  # noqa: F401
+    _select_transforms,
+    select_transforms,
+)
 
 
 @dataclass
@@ -116,7 +67,7 @@ class OptimizationOutcome:
         scheme: the solver scheme used.
         layouts: one layout per declared array.
         stats: solver effort counters.
-        solve_seconds: end-to-end time (network build + solve).
+        solve_seconds: end-to-end pipeline time.
         network: the constraint network with provenance.
         exact: True when the layouts satisfy every constraint; False
             when the weighted fallback produced a best-effort result.
@@ -124,6 +75,11 @@ class OptimizationOutcome:
             when no refinement ran).
         refinement: the candidate table refinement considered (None
             when no refinement ran).
+        transforms: per-nest loop restructurings matched to
+            ``layouts`` (None when no transform pass ran).
+        dynamic: per-array :class:`~repro.opt.dynamic.DynamicPlan`
+            schedules (None unless the ``dynamic`` pass ran).
+        pass_seconds: wall-clock per pipeline pass, in execution order.
     """
 
     program: str
@@ -135,6 +91,9 @@ class OptimizationOutcome:
     exact: bool
     cost: object | None = None
     refinement: RefinementReport | None = None
+    transforms: dict | None = None
+    dynamic: dict | None = None
+    pass_seconds: dict[str, float] = field(default_factory=dict)
 
 
 class LayoutOptimizer:
@@ -158,7 +117,7 @@ class LayoutOptimizer:
         refine: close the analytic <-> empirical loop: a registered
             cost-model name (``"simulated"``, ``"analytic"``,
             ``"weighted"``) or a configured
-            :class:`repro.eval.CostModel` instance.  The optimizer
+            :class:`repro.eval.CostModel` instance.  The refine pass
             enumerates up to ``refine_top_k`` solutions of the
             compiled network alongside the solver's own answer and
             adopts the candidate the model scores cheapest; the
@@ -174,10 +133,22 @@ class LayoutOptimizer:
             :func:`repro.csp.splitsearch.enumerate_solutions_parallel`
             -- the frontier is enumerated lazily across worker
             processes and stops at ``refine_top_k`` solutions.
+        passes: override the default pass list: a sequence mixing
+            registered pass names (``"build"``, ``"solve"``,
+            ``"repair"``, ``"transform"``, ``"refine"``, ``"joint"``,
+            ``"dynamic"``, anything added via
+            :func:`repro.opt.passes.register_pass`) and ready
+            :class:`~repro.opt.passes.Pass` instances; the string
+            ``"default"`` expands to the default list in place.
+        pipeline: a fully assembled
+            :class:`~repro.opt.passes.Pipeline` (or pass sequence) to
+            run as-is.  Mutually exclusive with ``passes``.
 
     Raises:
         ValueError: for an unknown scheme name, unknown refine model,
-            unknown search mode, or non-positive ``refine_top_k``.
+            unknown search mode, non-positive ``refine_top_k``,
+            unknown pass names, or ``passes`` combined with
+            ``pipeline``.
     """
 
     def __init__(
@@ -188,12 +159,15 @@ class LayoutOptimizer:
         refine=None,
         refine_top_k: int = 8,
         search: str = SEARCH_AUTO,
+        passes=None,
+        pipeline=None,
     ):
         if search not in SEARCHES:
             raise ValueError(
                 f"unknown search {search!r}; pick one of {SEARCHES}"
             )
         self._search = search
+        self._seed = seed
         self._portfolio = None
         self._portfolio_solver = None
         self._solver = None
@@ -229,174 +203,72 @@ class LayoutOptimizer:
             refine = get_cost_model(refine, **kwargs)
         self._refine = refine
 
-    def optimize(self, program: Program) -> OptimizationOutcome:
-        """Choose one memory layout for every array of the program."""
-        if self._portfolio is not None:
-            outcome = self._optimize_portfolio(program)
-            if self._refine is not None:
-                outcome = self._apply_refinement(program, outcome)
-            return outcome
-        start = time.perf_counter()
-        with obs_trace.span("build_network"):
-            layout_network = build_layout_network(program, self._options)
-            kernel = layout_network.kernel()
-        with obs_trace.span("solve", scheme=self._scheme_name):
-            if isinstance(self._solver, BranchAndBoundSolver):
-                # First-class weighted scheme: solve the weighted network
-                # directly -- exact iff the hard network is satisfiable.
-                weighted_result = self._solver.solve_compiled(
-                    kernel, layout_network.weights
-                )
-                assignment = dict(weighted_result.assignment)
-                stats = weighted_result.stats
-                exact = weighted_result.fully_satisfied
-            else:
-                result = self._solver.solve(kernel)
-                exact = result.assignment is not None
-                if exact:
-                    assignment = dict(result.assignment)
-                    stats = result.stats
-                else:
-                    weighted_result = BranchAndBoundSolver().solve_compiled(
-                        kernel, layout_network.weights
-                    )
-                    assignment = dict(weighted_result.assignment)
-                    stats = weighted_result.stats
-                    exact = weighted_result.fully_satisfied
-        obs_metrics.counter(
-            "repro_optimizer_solves_total",
-            labels={"scheme": self._scheme_name, "exact": str(exact).lower()},
-            help="Direct (non-portfolio) optimizer solves by scheme.",
-        )
-        if exact:
-            repair_inflation(layout_network.network, assignment, program)
-        elapsed = time.perf_counter() - start
-
-        layouts: dict[str, Layout] = {}
-        for decl in program.arrays:
-            chosen = assignment.get(decl.name)
-            layouts[decl.name] = (
-                chosen if chosen is not None else row_major(decl.rank)
+        if passes is not None and pipeline is not None:
+            raise ValueError("pass either passes= or pipeline=, not both")
+        if pipeline is not None:
+            self._pipeline = (
+                pipeline
+                if isinstance(pipeline, Pipeline)
+                else Pipeline(pipeline)
             )
-        outcome = OptimizationOutcome(
-            program=program.name,
-            scheme=self._scheme_name,
-            layouts=layouts,
-            stats=stats,
-            solve_seconds=elapsed,
-            network=layout_network,
-            exact=exact,
-        )
-        if self._refine is not None:
-            outcome = self._apply_refinement(program, outcome)
-        return outcome
+        else:
+            spec = passes if passes is not None else ["default"]
+            self._pipeline = Pipeline(resolve_passes(spec, self))
 
-    def _apply_refinement(
-        self, program: Program, outcome: OptimizationOutcome
-    ) -> OptimizationOutcome:
-        """Re-rank the solver's answer against enumerated alternatives.
+    # -- configuration surface read by the pass factories ---------------
 
-        The candidate pool is the outcome's own layouts plus up to
-        ``refine_top_k`` distinct solutions of the compiled network;
-        each is paired with its best legal restructurings and scored
-        by the refining model (and, for the agreement statistic, by
-        the analytic model).  Ties keep the earlier candidate, so the
-        solver's answer survives unless the model strictly prefers an
-        alternative.
+    @property
+    def options(self) -> BuildOptions:
+        """Network construction options."""
+        return self._options
 
-        When the optimizer's search mode resolves to ``"split"``, the
-        alternatives stream lazily from the parallel frontier
-        enumerator -- same solutions in the same (lexicographic)
-        order, produced by racing worker processes -- so a small
-        ``refine_top_k`` stops the enumeration early instead of
-        paying for the whole solution set.
-        """
-        from repro.csp.compiled import enumerate_solutions
-        from repro.csp.splitsearch import enumerate_solutions_parallel
-        from repro.eval import AnalyticCostModel, kendall_tau
+    @property
+    def scheme_name(self) -> str:
+        """The configured scheme's display name."""
+        return self._scheme_name
 
-        start = time.perf_counter()
-        model = self._refine
-        analytic = model if model.name == "analytic" else AnalyticCostModel()
+    @property
+    def seed(self) -> int:
+        """RNG seed for the randomized schemes."""
+        return self._seed
 
-        split = resolve_search(self._search) == SEARCH_SPLIT
-        with obs_trace.span("refine", model=model.name) as refine_span:
-            if split:
-                solutions = enumerate_solutions_parallel(
-                    outcome.network.kernel(), self._refine_top_k
-                )
-            else:
-                solutions = enumerate_solutions(
-                    outcome.network.kernel(), self._refine_top_k
-                )
-            pool: list[tuple[str, dict[str, Layout]]] = [
-                ("search", dict(outcome.layouts))
-            ]
-            seen = {_layout_key(outcome.layouts)}
-            for index, assignment in enumerate(solutions):
-                layouts = {
-                    decl.name: assignment.get(decl.name, row_major(decl.rank))
-                    for decl in program.arrays
-                }
-                key = _layout_key(layouts)
-                if key in seen:
-                    continue
-                seen.add(key)
-                pool.append((f"solution-{index + 1}", layouts))
-            refine_span.set_attribute("candidates", len(pool))
+    @property
+    def solver(self):
+        """The configured direct solver (None on the portfolio path)."""
+        return self._solver
 
-            scored = []
-            for label, layouts in pool:
-                transforms = select_transforms(
-                    program,
-                    layouts,
-                    self._options.include_reversals,
-                    self._options.skew_factors,
-                )
-                cost = model.score(program, layouts, transforms)
-                if analytic is model:
-                    analytic_value = cost.value
-                else:
-                    analytic_value = analytic.score(
-                        program, layouts, transforms
-                    ).value
-                scored.append((label, layouts, analytic_value, cost))
+    @property
+    def refine(self):
+        """The configured refining cost model (may be None)."""
+        return self._refine
 
-        best = min(range(len(scored)), key=lambda i: scored[i][3].value)
-        agreement = kendall_tau(
-            [entry[2] for entry in scored],
-            [entry[3].value for entry in scored],
-        )
-        report = RefinementReport(
-            model=model.name,
-            candidates=tuple(
-                CandidateScore(
-                    label=label,
-                    layouts=layouts,
-                    analytic_value=analytic_value,
-                    refined_value=cost.value,
-                    chosen=(index == best),
-                )
-                for index, (label, layouts, analytic_value, cost) in enumerate(
-                    scored
-                )
-            ),
-            agreement=agreement,
-            evaluate_seconds=time.perf_counter() - start,
-        )
-        outcome.layouts = dict(scored[best][1])
-        outcome.cost = scored[best][3]
-        outcome.refinement = report
-        return outcome
+    @property
+    def refine_top_k(self) -> int:
+        """How many enumerated candidates refinement/joint search score."""
+        return self._refine_top_k
 
-    def _optimize_portfolio(self, program: Program) -> OptimizationOutcome:
-        """Delegate to the service layer's racing portfolio.
+    @property
+    def search(self) -> str:
+        """The configured search-space execution mode."""
+        return self._search
 
-        The solver instance is built once and reused for every request
-        this optimizer serves -- resident processes (the service
-        daemon's warm workers) keep optimizers alive across requests,
-        and rebuilding the portfolio plumbing per call was the last
-        per-request setup cost left on that path.
+    @property
+    def portfolio_config(self):
+        """The portfolio configuration (None for direct schemes)."""
+        return self._portfolio
+
+    @property
+    def pipeline(self) -> Pipeline:
+        """The assembled pass pipeline."""
+        return self._pipeline
+
+    def portfolio_solver(self):
+        """The racing portfolio solver, built once and kept warm.
+
+        Resident processes (the service daemon's warm workers) keep
+        optimizers alive across requests, and rebuilding the portfolio
+        plumbing per call was the last per-request setup cost left on
+        that path.
         """
         if self._portfolio_solver is None:
             from repro.service.portfolio import PortfolioSolver
@@ -404,23 +276,50 @@ class LayoutOptimizer:
             self._portfolio_solver = PortfolioSolver(
                 self._portfolio, options=self._options
             )
-        result = self._portfolio_solver.optimize(program)
-        network = result.network
-        if network is None:  # served from a cache: rebuild provenance
-            network = build_layout_network(program, self._options)
+        return self._portfolio_solver
+
+    def default_pass_names(self) -> tuple[str, ...]:
+        """The default pipeline for this configuration.
+
+        ``build -> solve -> repair [-> refine] -> transform``: the
+        refine pass joins exactly when a refining model is configured,
+        and transform selection runs last so the reported transforms
+        always match the final layouts.
+        """
+        names = ["build", "solve", "repair"]
+        if self._refine is not None:
+            names.append("refine")
+        names.append("transform")
+        return tuple(names)
+
+    def optimize(self, program: Program) -> OptimizationOutcome:
+        """Choose one memory layout for every array of the program."""
+        ctx = PipelineContext(
+            program=program,
+            options=self._options,
+            scheme=self._scheme_name,
+        )
+        self._pipeline.run(ctx)
         return OptimizationOutcome(
             program=program.name,
-            scheme=f"portfolio:{result.winner}",
-            layouts=result.layouts,
-            stats=result.winner_stats(),
-            solve_seconds=result.solve_seconds,
-            network=network,
-            exact=result.exact,
+            scheme=ctx.scheme,
+            layouts=ctx.layouts if ctx.layouts is not None else {},
+            stats=ctx.stats if ctx.stats is not None else SolverStats(),
+            solve_seconds=ctx.solve_seconds,
+            network=ctx.network,
+            exact=ctx.exact,
+            cost=ctx.cost,
+            refinement=ctx.refinement,
+            transforms=ctx.transforms,
+            dynamic=ctx.dynamic,
+            pass_seconds=dict(ctx.pass_seconds),
         )
 
 
-#: Bounded pool of shared optimizer instances, keyed by configuration.
-_SHARED_OPTIMIZERS: dict[tuple, LayoutOptimizer] = {}
+#: Bounded LRU pool of shared optimizer instances, keyed by
+#: configuration; hits refresh recency so the hottest configurations
+#: survive eviction.
+_SHARED_OPTIMIZERS: OrderedDict[tuple, LayoutOptimizer] = OrderedDict()
 _SHARED_OPTIMIZERS_CAP = 32
 
 
@@ -439,8 +338,9 @@ def shared_optimizer(
     plumbing every time.  This factory memoizes instances by their
     full configuration (an optimizer is stateless between ``optimize``
     calls, so sharing is safe within one thread of control) and keeps
-    the pool bounded.  Configured model instances (``refine`` given as
-    a :class:`~repro.eval.CostModel`) are not memoizable -- those
+    the pool bounded with least-recently-used eviction.  Configured
+    model instances (``refine`` given as a
+    :class:`~repro.eval.CostModel`) are not memoizable -- those
     callers get a fresh optimizer.
     """
     if refine is not None and not isinstance(refine, str):
@@ -456,14 +356,11 @@ def shared_optimizer(
             refine=refine, refine_top_k=refine_top_k, search=search,
         )
         if len(_SHARED_OPTIMIZERS) >= _SHARED_OPTIMIZERS_CAP:
-            _SHARED_OPTIMIZERS.pop(next(iter(_SHARED_OPTIMIZERS)))
+            _SHARED_OPTIMIZERS.popitem(last=False)
         _SHARED_OPTIMIZERS[key] = optimizer
+    else:
+        _SHARED_OPTIMIZERS.move_to_end(key)
     return optimizer
-
-
-def _layout_key(layouts: Mapping[str, Layout]) -> tuple:
-    """Hashable identity of a full layout assignment (for dedup)."""
-    return tuple(sorted((name, layout) for name, layout in layouts.items()))
 
 
 def _as_portfolio_config(scheme, seed: int):
@@ -487,135 +384,3 @@ def _as_portfolio_config(scheme, seed: int):
     from repro.service.portfolio import PortfolioConfig
 
     return scheme if isinstance(scheme, PortfolioConfig) else None
-
-
-def repair_inflation(network, assignment: dict, program: Program) -> None:
-    """Swap each array to the best equivalent value among solutions.
-
-    Constraint networks routinely admit several solutions (the paper
-    observes base and enhanced finding different ones), and the solver
-    has no reason to prefer the execution-friendly one.  This pass
-    greedily replaces each array's layout with a domain value that is
-    better on the lexicographic objective
-
-    1. lower bounding-box inflation (footnote 2's data-space growth),
-    2. more references with locality under the original loop order,
-
-    whenever the swap keeps the assignment a solution -- it never
-    leaves the solution set, so exactness is preserved.
-    """
-    from repro.layout.locality import (
-        access_delta,
-        has_spatial_locality,
-        has_temporal_locality,
-    )
-    from repro.layout.mapping import LayoutMapping
-
-    objective_cache: dict[tuple[str, Layout], tuple[float, int]] = {}
-
-    def objective(array: str, layout: Layout) -> tuple[float, int]:
-        cached = objective_cache.get((array, layout))
-        if cached is not None:
-            return cached
-        inflation = LayoutMapping.create(program.array(array), layout).inflation
-        locality = 0
-        for nest in program.nests_referencing(array):
-            direction = tuple([0] * (nest.depth - 1) + [1])
-            order = nest.index_order
-            for reference in nest.references_to(array):
-                delta = access_delta(reference, order, direction)
-                if has_temporal_locality(delta) or has_spatial_locality(
-                    layout, delta
-                ):
-                    locality += nest.weight
-        score = (inflation, -locality)
-        objective_cache[(array, layout)] = score
-        return score
-
-    # Iterate to a fixpoint: improving one array can unlock a better
-    # swap for a neighbor (bounded: each pass strictly improves the
-    # global objective or stops).
-    for _ in range(len(network.variables)):
-        changed = False
-        for array in network.variables:
-            current = assignment[array]
-            best = current
-            best_key = objective(array, current)
-            for candidate in network.domain(array):
-                if candidate == current:
-                    continue
-                key = objective(array, candidate)
-                if key >= best_key:
-                    continue
-                consistent = all(
-                    network.check_pair(
-                        array, candidate, neighbor, assignment[neighbor]
-                    )
-                    for neighbor in network.neighbors(array)
-                )
-                if consistent:
-                    best = candidate
-                    best_key = key
-            if best != current:
-                assignment[array] = best
-                changed = True
-        if not changed:
-            break
-
-
-def select_transforms(
-    program: Program,
-    layouts: Mapping[str, Layout],
-    include_reversals: bool = False,
-    skew_factors: tuple[int, ...] = (),
-) -> dict[str, LoopTransform]:
-    """Per nest, the legal restructuring best matched to final layouts.
-
-    The score of a transform weighs references by the memory cost their
-    locality class avoids: a reference with *no* locality pays roughly
-    a full cache-miss per iteration, so it is worth far more to fix one
-    such reference than to upgrade spatial locality (one miss per line,
-    ~1/8 of the accesses) to temporal (same element every iteration).
-    Ties prefer the identity (no restructuring without benefit).
-    """
-    with obs_trace.span("transform_selection"):
-        return _select_transforms(program, layouts, include_reversals, skew_factors)
-
-
-def _select_transforms(
-    program: Program,
-    layouts: Mapping[str, Layout],
-    include_reversals: bool,
-    skew_factors: tuple[int, ...],
-) -> dict[str, LoopTransform]:
-    chosen: dict[str, LoopTransform] = {}
-    for nest in program.nests:
-        order = nest.index_order
-        best: LoopTransform | None = None
-        best_score = -1
-        for transform in legal_transforms(
-            nest, include_reversals, skew_factors
-        ):
-            direction = transform.innermost_direction()
-            score = 0
-            for reference in nest.body:
-                layout = layouts.get(reference.array)
-                if layout is None:
-                    continue
-                delta = access_delta(reference, order, direction)
-                if has_temporal_locality(delta):
-                    score += 7
-                elif has_spatial_locality(layout, delta):
-                    score += 6
-            better = score > best_score or (
-                score == best_score
-                and best is not None
-                and transform.is_identity
-                and not best.is_identity
-            )
-            if better:
-                best = transform
-                best_score = score
-        assert best is not None  # identity is always legal
-        chosen[nest.name] = best
-    return chosen

@@ -1,0 +1,37 @@
+"""Dynamic-layout pass: the per-array DP planner on the main path.
+
+The paper's second future-work direction (layouts that change between
+program segments) has an exact per-array planner in
+:mod:`repro.opt.dynamic`, but until the pipeline refactor it could only
+be driven by hand.  This opt-in pass runs the planner over the whole
+program and surfaces the schedules in the outcome's ``dynamic`` field,
+so callers see -- per array -- the chosen (nest, layout) schedule, the
+redistribution cost it pays, and the improvement over the best static
+layout the rest of the pipeline would commit to.
+"""
+
+from __future__ import annotations
+
+from repro.obs import trace as obs_trace
+from repro.opt.dynamic import DynamicLayoutPlanner
+from repro.opt.passes.base import PipelineContext
+
+
+class DynamicLayoutPass:
+    """Plan per-array dynamic layout schedules (opt-in)."""
+
+    name = "dynamic"
+    requires: tuple[str, ...] = ()
+    provides: tuple[str, ...] = ("dynamic",)
+
+    def __init__(self, planner: DynamicLayoutPlanner | None = None):
+        self._planner = planner if planner is not None else DynamicLayoutPlanner()
+
+    def run(self, ctx: PipelineContext) -> None:
+        with obs_trace.span("dynamic_layout") as dyn_span:
+            plans = self._planner.plan_all(ctx.program)
+            dyn_span.set_attribute("arrays", len(plans))
+            dyn_span.set_attribute(
+                "changes", sum(plan.changes for plan in plans.values())
+            )
+        ctx.dynamic = plans

@@ -58,8 +58,10 @@ def optimization_report(outcome) -> str:
     Always shows the scheme, exactness and per-array layouts; when the
     outcome was cost-refined it also names the cost model and its
     verdict, and -- when that model simulated execution -- the
-    per-level cache hit rates.  Timings are deliberately omitted so
-    the report is deterministic for a fixed outcome (golden-testable).
+    per-level cache hit rates.  Outcomes produced by the pass pipeline
+    close with a per-pass timing table (``pass_seconds``).  Wall-clock
+    values never come from anywhere but the outcome itself, so the
+    report stays deterministic for a fixed outcome (golden-testable).
     """
     lines = [
         f"program: {outcome.program}",
@@ -107,6 +109,23 @@ def optimization_report(outcome) -> str:
                 ],
                 title=f"refinement ({refinement.model}, "
                 f"agreement tau={refinement.agreement:+.2f}):",
+            )
+        )
+    pass_seconds = getattr(outcome, "pass_seconds", None)
+    if pass_seconds:
+        total = sum(pass_seconds.values())
+        lines.append(
+            format_table(
+                ["pass", "seconds", "share"],
+                [
+                    [
+                        name,
+                        f"{seconds:.4f}",
+                        f"{100.0 * seconds / total:.1f}%" if total else "-",
+                    ]
+                    for name, seconds in pass_seconds.items()
+                ],
+                title="pass timings:",
             )
         )
     return "\n".join(lines)

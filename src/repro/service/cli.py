@@ -141,6 +141,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the per-scheme outcome table for every program",
     )
+    pipeline = parser.add_argument_group(
+        "pass pipeline",
+        "run the batch through an explicit optimizer pass pipeline "
+        "(see repro.opt.passes) instead of the racing batch runner",
+    )
+    pipeline.add_argument(
+        "--passes",
+        default=None,
+        metavar="NAME,...",
+        help=(
+            "comma-separated optimizer passes, e.g. "
+            "'build,solve,repair,transform' (the default pipeline), "
+            "'default,dynamic', or 'build,solve,repair,joint,dynamic'; "
+            "'default' expands to the configured default order"
+        ),
+    )
+    pipeline.add_argument(
+        "--refine",
+        default=None,
+        metavar="MODEL",
+        help=(
+            "cost model for the refine/joint passes with --passes "
+            "(see repro.eval: analytic, weighted, simulated)"
+        ),
+    )
     daemon = parser.add_argument_group(
         "daemon mode",
         "run as a resident streaming service (JSON-lines protocol, "
@@ -337,9 +362,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         raise SystemExit("--serve and --connect are mutually exclusive")
     if args.trace_log and not args.serve:
         raise SystemExit("--trace-log requires --serve")
+    if args.passes and (args.serve or args.connect or args.evaluate):
+        raise SystemExit(
+            "--passes runs a local pipeline batch; it cannot be combined "
+            "with --serve, --connect or --evaluate"
+        )
+    if args.refine is not None and not args.passes:
+        raise SystemExit("--refine requires --passes")
 
     if args.serve:
         return _run_daemon(args, config)
+
+    if args.passes:
+        return _run_pipeline(args, config)
 
     client = None
     if args.connect is not None:
@@ -407,6 +442,45 @@ def main(argv: Sequence[str] | None = None) -> int:
         client.close()
     failures = sum(1 for result in report.results if result.winner is None)
     return 1 if failures else 0
+
+
+def _run_pipeline(args, config) -> int:
+    """The ``--passes`` path: explicit pass pipeline, one program at a time.
+
+    Uses the configured portfolio when several schemes were given,
+    otherwise the single scheme directly (so the build/solve/repair
+    passes all run locally), and prints each program's full
+    optimization report including the per-pass timing table.
+    """
+    from repro.opt.optimizer import LayoutOptimizer
+    from repro.opt.passes import PipelineError
+    from repro.opt.report import optimization_report
+
+    programs = _resolve_programs(args)
+    names = [name.strip() for name in args.passes.split(",") if name.strip()]
+    if not names:
+        raise SystemExit("--passes needs at least one pass name")
+    scheme = config if len(config.schemes) > 1 else config.schemes[0]
+    try:
+        optimizer = LayoutOptimizer(
+            scheme=scheme,
+            seed=args.seed,
+            options=benchmark_build_options(),
+            refine=args.refine,
+            passes=names,
+        )
+    except (PipelineError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"repro layout service v{__version__} -- pipeline "
+        f"[{', '.join(optimizer.pipeline.names)}], "
+        f"scheme={optimizer.scheme_name}, seed={args.seed}"
+    )
+    for program in programs:
+        outcome = optimizer.optimize(program)
+        print()
+        print(optimization_report(outcome))
+    return 0
 
 
 def _run_daemon(args, config) -> int:

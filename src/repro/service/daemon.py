@@ -55,6 +55,7 @@ from repro.obs import (
 )
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS
 from repro.obs.trace import NOOP_SPAN, Span
+from repro.opt.passes.base import PASS_SECONDS_METRIC
 from repro.opt.network_builder import BuildOptions
 from repro.service import stream
 from repro.service.cache import ShardedResultCache
@@ -442,10 +443,30 @@ class SolverDaemon:
                 "entries": len(self.cache),
                 **self.cache.stats.as_dict(),
             },
+            "passes": self._pass_stats(),
         }
         if hasattr(self.cache, "shard_stats"):
             snapshot["cache"]["shards"] = self.cache.shard_stats()
         return snapshot
+
+    def _pass_stats(self) -> dict:
+        """Per-pass wall clock accumulated from worker telemetry.
+
+        Workers run the optimizer phases under the shared
+        ``repro_pass_seconds{pass}`` histogram; their per-request
+        metric deltas are merged into the daemon registry, so the
+        breakdown here covers every solve the daemon dispatched.
+        """
+        passes: dict[str, dict] = {}
+        for name, label_items, instrument in self.registry.iter_metrics():
+            if name != PASS_SECONDS_METRIC:
+                continue
+            label = dict(label_items).get("pass", "")
+            passes[label] = {
+                "seconds": instrument.sum,
+                "count": instrument.count,
+            }
+        return passes
 
     def metrics_snapshot(self) -> dict:
         """One coherent exposition-ready snapshot of everything.

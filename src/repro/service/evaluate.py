@@ -28,6 +28,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.opt.network_builder import BuildOptions
 from repro.opt.optimizer import select_transforms
+from repro.opt.passes.base import record_pass_seconds
 from repro.service.cache import ResultCache
 from repro.service.fingerprint import (
     canonical_value_token,
@@ -337,14 +338,18 @@ class EvaluationService:
         elif request.cost_model == "weighted":
             model_kwargs["options"] = self._options
         model = get_cost_model(request.cost_model, **model_kwargs)
+        transform_start = time.perf_counter()
         transforms = select_transforms(
             request.program,
             layouts,
             self._options.include_reversals,
             self._options.skew_factors,
         )
+        record_pass_seconds("transform", time.perf_counter() - transform_start)
+        score_start = time.perf_counter()
         with obs_trace.span("score", model=request.cost_model):
             cost = model.score(request.program, layouts, transforms)
+        record_pass_seconds("score", time.perf_counter() - score_start)
         result = EvaluationResult(
             program=request.program.name,
             cost_model=cost.model,

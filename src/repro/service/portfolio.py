@@ -48,6 +48,7 @@ from repro.obs import trace as obs_trace
 from repro.obs.metrics import EFFORT_BUCKETS
 from repro.opt.network_builder import BuildOptions, LayoutNetwork, build_layout_network
 from repro.opt.optimizer import repair_inflation
+from repro.opt.passes.base import record_pass_seconds
 from repro.service.cache import ResultCache
 from repro.service.fingerprint import request_fingerprint
 
@@ -506,6 +507,10 @@ class PortfolioSolver:
                 self._network_cache[fingerprint] = layout_network
         with obs_trace.span("compile_kernel"):
             kernel = layout_network.kernel()
+        # Per-pass timing, same vocabulary the pipeline runner uses, so
+        # daemon ``stats`` shows one per-pass breakdown no matter which
+        # path (pipeline façade or direct portfolio) served the solve.
+        record_pass_seconds("build", time.perf_counter() - start)
         engine = resolve_engine(ENGINE_AUTO, kernel)
         kernel_source = None
         self._race_shared_key = None
@@ -555,9 +560,12 @@ class PortfolioSolver:
                 ),
             )
         self._record_race(race_span, engine, mode, winner, outcomes, race_seconds)
+        record_pass_seconds("solve", time.perf_counter() - race_start)
         if exact:
+            repair_start = time.perf_counter()
             with obs_trace.span("repair_inflation"):
                 repair_inflation(layout_network.network, assignment, program)
+            record_pass_seconds("repair", time.perf_counter() - repair_start)
 
         layouts: dict[str, Layout] = {}
         for decl in program.arrays:

@@ -100,3 +100,34 @@ class TestGoldenReport:
         outcome = _outcome()
         outcome.exact = False
         assert "best-effort" in optimization_report(outcome)
+
+    def test_pass_timing_table(self):
+        outcome = _outcome()
+        outcome.pass_seconds = {
+            "build": 0.01,
+            "solve": 0.06,
+            "repair": 0.02,
+            "transform": 0.01,
+        }
+        expected = textwrap.dedent(
+            """\
+            program: golden
+            scheme: enhanced (exact)
+            layouts:
+            array  layout
+            -----  -------------------
+            A      row-major (1  0)
+            B      column-major (0  1)
+            solver effort: 12 nodes, 345 consistency checks, 6 backtracks
+            pass timings:
+            pass       seconds  share
+            ---------  -------  -----
+            build       0.0100  10.0%
+            solve       0.0600  60.0%
+            repair      0.0200  20.0%
+            transform   0.0100  10.0%"""
+        )
+        assert optimization_report(outcome) == expected
+
+    def test_empty_pass_seconds_omit_the_table(self):
+        assert "pass timings" not in optimization_report(_outcome())

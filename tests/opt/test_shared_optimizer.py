@@ -56,3 +56,25 @@ class TestSharedOptimizer:
         for seed in range(_SHARED_OPTIMIZERS_CAP + 8):
             shared_optimizer(scheme="enhanced", seed=1000 + seed)
         assert len(_SHARED_OPTIMIZERS) <= _SHARED_OPTIMIZERS_CAP
+
+    def test_eviction_is_lru_not_fifo(self):
+        """A hit refreshes recency: hot configurations survive eviction.
+
+        Regression test for the FIFO pool: eviction popped insertion
+        order, so the hottest (oldest-inserted) configuration was the
+        first to go while stale ones survived.
+        """
+        _SHARED_OPTIMIZERS.clear()
+        hot = shared_optimizer(scheme="enhanced", seed=2000)
+        for seed in range(2001, 2000 + _SHARED_OPTIMIZERS_CAP):
+            shared_optimizer(scheme="enhanced", seed=seed)
+        assert len(_SHARED_OPTIMIZERS) == _SHARED_OPTIMIZERS_CAP
+        # Touch the oldest-inserted entry, then overflow the pool: the
+        # eviction must take the least-recently-used entry (seed 2001),
+        # not the oldest-inserted (the hot one).
+        assert shared_optimizer(scheme="enhanced", seed=2000) is hot
+        shared_optimizer(scheme="enhanced", seed=3000)
+        assert shared_optimizer(scheme="enhanced", seed=2000) is hot
+        assert len(_SHARED_OPTIMIZERS) == _SHARED_OPTIMIZERS_CAP
+        keys = list(_SHARED_OPTIMIZERS)
+        assert not any(key[1] == 2001 for key in keys)

@@ -211,6 +211,36 @@ class TestMetricsKind:
         )
 
 
+class TestPassStats:
+    def test_stats_expose_per_pass_breakdown(self, harness):
+        """Worker pass clocks roll up into the daemon's stats view."""
+        with harness.client() as client:
+            response = client.solve(_program(310, "passes"))
+            assert response["ok"] and not response["from_cache"]
+            stats = client.stats()
+        passes = stats["passes"]
+        # A served miss runs the build and solve phases; this exact
+        # program's network is satisfiable, so repair ran too.
+        assert set(passes) >= {"build", "solve", "repair"}
+        for entry in passes.values():
+            assert entry["count"] >= 1
+            assert entry["seconds"] >= 0.0
+        # The per-pass clocks are nested inside the request: their sum
+        # approximates (and cannot meaningfully exceed) the request's
+        # end-to-end solve time.
+        total = sum(entry["seconds"] for entry in passes.values())
+        assert total <= response["seconds"] * 1.25
+
+    def test_cache_hits_add_no_pass_time(self, harness):
+        with harness.client() as client:
+            client.solve(_program(311, "cold"))
+            first = client.stats()["passes"]
+            hit = client.solve(_program(311, "cold"))
+            second = client.stats()["passes"]
+        assert hit["from_cache"]
+        assert first == second
+
+
 class TestUptime:
     def test_uptime_is_monotonic_based(self, harness):
         before = time.monotonic()
