@@ -34,7 +34,7 @@ paper-versus-measured comparison.
 #: Package version; surfaced by ``python -m repro.service --version``.
 #: Defined before the subpackage imports below: the service daemon
 #: reports it in its hello and imports it mid-package-init.
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 from repro.ir import (
     AffineExpr,

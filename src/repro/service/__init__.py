@@ -22,14 +22,22 @@ scheme; this package turns it into a serving stack:
   streaming loop over a persistent warm worker pool, fronted by a
   *sharded* persistent result cache with backpressure.
 * :mod:`repro.service.stream` -- the daemon's JSON-lines wire protocol
-  and the synchronous pipelining :class:`DaemonClient`.
+  and the synchronous pipelining :class:`DaemonClient` (with
+  client-side consistent-hash routing when given several addresses).
+* :mod:`repro.service.routing` -- the consistent-hash ring mapping
+  request fingerprints to cluster members, plus the member-address
+  vocabulary shared by clients, routers and daemons.
+* :mod:`repro.service.cluster` -- the scale-out tier: N daemon
+  members behind a fingerprint-routing :class:`ClusterRouter` with
+  cache peering, failover and cluster-wide stats/metrics roll-up.
 * :mod:`repro.service.cli` -- the ``python -m repro.service`` front
-  end tying it all together (``--serve`` / ``--connect`` for the
-  daemon).
+  end tying it all together (``--serve`` / ``--serve-cluster`` /
+  ``--connect`` for the daemon and cluster).
 """
 
 from repro.service.batch import BatchReport, run_batch
 from repro.service.cache import CacheStats, ResultCache, ShardedResultCache
+from repro.service.cluster import ClusterConfig, ClusterRouter
 from repro.service.daemon import DaemonConfig, SolverDaemon
 from repro.service.evaluate import (
     EvaluationRequest,
@@ -52,6 +60,7 @@ from repro.service.portfolio import (
     SchemeOutcome,
     known_schemes,
 )
+from repro.service.routing import HashRing
 from repro.service.stream import DaemonClient, ProtocolError
 
 __all__ = [
@@ -60,6 +69,9 @@ __all__ = [
     "CacheStats",
     "ResultCache",
     "ShardedResultCache",
+    "ClusterConfig",
+    "ClusterRouter",
+    "HashRing",
     "DaemonConfig",
     "SolverDaemon",
     "DaemonClient",

@@ -221,6 +221,20 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def bytes_on_disk(self) -> int:
+        """Size of the persisted cache file (0 when absent/memory-only).
+
+        A point-in-time ``os.stat`` of the file as last saved -- not
+        the in-memory footprint -- so cluster roll-ups can compare the
+        on-disk tier across members without opening any shard file.
+        """
+        if self._path is None:
+            return 0
+        try:
+            return os.stat(self._path).st_size
+        except OSError:
+            return 0
+
     def clear(self) -> None:
         """Drop every entry (stats are kept)."""
         self._entries.clear()
@@ -440,6 +454,14 @@ class ShardedResultCache:
     def __len__(self) -> int:
         return sum(len(shard) for shard in self._shards)
 
+    def bytes_on_disk(self) -> int:
+        """Aggregate size of all persisted shard files."""
+        return sum(shard.bytes_on_disk() for shard in self._shards)
+
+    def entry_counts(self) -> list[int]:
+        """Live entry count per shard (index = shard number)."""
+        return [len(shard) for shard in self._shards]
+
     def clear(self) -> None:
         for shard in self._shards:
             shard.clear()
@@ -464,6 +486,7 @@ class ShardedResultCache:
             {
                 "shard": index,
                 "entries": len(shard),
+                "bytes_on_disk": shard.bytes_on_disk(),
                 "path": shard.path,
                 **shard.stats.as_dict(),
             }

@@ -59,6 +59,13 @@ from repro.opt.passes.base import PASS_SECONDS_METRIC
 from repro.opt.network_builder import BuildOptions
 from repro.service import stream
 from repro.service.cache import ShardedResultCache
+from repro.service.routing import (
+    DEFAULT_VIRTUAL_NODES,
+    HashRing,
+    open_address,
+    parse_address,
+    reclaim_stale_socket,
+)
 from repro.service.evaluate import (
     EvaluationRequest,
     EvaluationService,
@@ -93,6 +100,17 @@ class DaemonConfig:
             mapping; the next miss republishes).  Keeps ``/dev/shm``
             bounded on a long-lived daemon serving many distinct
             programs.
+        peers: all cluster member addresses (unix paths or
+            ``host:port``), *including this daemon's own*.  Empty
+            (the default) runs a classic standalone daemon.  When set,
+            a cache miss on a fingerprint owned by another member asks
+            that owner's cache first -- one bounded hop over the same
+            wire protocol, never recursive -- before paying a solve.
+        self_address: this member's own entry in ``peers``.
+        peer_timeout: bound on one peer cache-lookup hop; on timeout
+            or connection loss the member simply solves locally.
+        virtual_nodes: consistent-hash ring points per member (must
+            match across the cluster so everyone routes identically).
     """
 
     workers: int = 2
@@ -104,6 +122,10 @@ class DaemonConfig:
     network_memo: int = 64
     save_every: int = 64
     max_shared_kernels: int = 64
+    peers: tuple[str, ...] = ()
+    self_address: str | None = None
+    peer_timeout: float = 5.0
+    virtual_nodes: int = DEFAULT_VIRTUAL_NODES
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -122,6 +144,17 @@ class DaemonConfig:
             raise ValueError("save_every must be positive")
         if self.max_shared_kernels < 1:
             raise ValueError("max_shared_kernels must be positive")
+        if self.peers:
+            if self.self_address is None:
+                raise ValueError("clustered daemons need self_address")
+            if self.self_address not in self.peers:
+                raise ValueError(
+                    f"self_address {self.self_address!r} missing from peers"
+                )
+        if self.peer_timeout <= 0:
+            raise ValueError("peer_timeout must be positive")
+        if self.virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be positive")
 
 
 # -- warm worker processes ----------------------------------------------
@@ -310,6 +343,32 @@ class SolverDaemon:
         #: Split-search serving breakdown: subtree and steal totals
         #: folded from every worker-dispatched miss's outcome table.
         self.split_counters = {"subtrees": 0, "steals": 0}
+        #: Cache-peering breakdown (all zero on a standalone daemon):
+        #: outbound lookups that hit/missed/errored on the owner, and
+        #: inbound ``cache_lookup`` requests this member answered.
+        self.peer_counters = {
+            "hits": 0,
+            "misses": 0,
+            "errors": 0,
+            "lookups_served": 0,
+        }
+        #: The cluster ring (None when standalone).  Built from the
+        #: same member list every other member and every router uses,
+        #: so ownership agrees cluster-wide.
+        self._ring: HashRing | None = (
+            HashRing(
+                self._daemon_config.peers,
+                self._daemon_config.virtual_nodes,
+            )
+            if self._daemon_config.peers
+            else None
+        )
+        # One lazily opened (reader, writer) pair per peer, serialized
+        # by a lock so concurrent misses never interleave lines on the
+        # same connection.
+        self._peer_connections: dict[str, tuple] = {}
+        self._peer_locks: dict[str, asyncio.Lock] = {}
+        self._peer_seq = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -344,14 +403,32 @@ class SolverDaemon:
         self.cache.save()
         self._unsaved_stores = 0
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+            pool, self._pool = self._pool, None
+            pool.shutdown(wait=False, cancel_futures=True)
+            # The exit sentinel can race the call-queue feeder thread
+            # and leave an idle worker blocked on the queue forever
+            # (observed on 3.11; cpython gh-94440 family).  A stuck
+            # worker would then deadlock *this* process's interpreter
+            # exit, which joins all multiprocessing children -- so
+            # give workers a short grace, then terminate stragglers.
+            workers = list((getattr(pool, "_processes", None) or {}).values())
+            deadline = time.monotonic() + 5.0
+            for worker in workers:
+                worker.join(max(0.1, deadline - time.monotonic()))
+                if worker.is_alive():
+                    logger.warning(
+                        "terminating pool worker %s stuck past shutdown",
+                        worker.pid,
+                    )
+                    worker.terminate()
         # The daemon owns the lifetime of every kernel segment its
         # workers published (Linux keeps the memory mapped for any
         # process still attached; unlinking only removes the name).
         for fingerprint in list(self._shared_segments):
             unlink_shared(fingerprint)
         self._shared_segments.clear()
+        for address in list(self._peer_connections):
+            self._drop_peer(address)
         if self._trace_writer is not None:
             self._trace_writer.close()
             self._trace_writer = None
@@ -391,6 +468,16 @@ class SolverDaemon:
                     "result": self.stats(),
                 }
             if kind == "metrics":
+                if payload.get("raw"):
+                    # Mergeable registry snapshot for cluster roll-up:
+                    # the router folds these member-by-member via
+                    # MetricsRegistry.merge_snapshot (sum semantics).
+                    return {
+                        "id": request_id,
+                        "ok": True,
+                        "kind": "metrics",
+                        "result": {"snapshot": self.metrics_snapshot()},
+                    }
                 return {
                     "id": request_id,
                     "ok": True,
@@ -400,6 +487,8 @@ class SolverDaemon:
                         "content_type": CONTENT_TYPE,
                     },
                 }
+            if kind == "cache_lookup":
+                return self._handle_cache_lookup(payload)
             if kind == "shutdown":
                 self._shutdown.set()
                 return {"id": request_id, "ok": True, "kind": "shutdown"}
@@ -415,22 +504,49 @@ class SolverDaemon:
             return stream.error_response(request_id, repr(exc))
 
     def _hello(self, request_id) -> dict:
+        result = {
+            "version": __version__,
+            "schemes": list(self._config.schemes),
+            "workers": self._daemon_config.workers,
+            "max_inflight": self._daemon_config.max_inflight,
+            "numpy": numpy_available(),
+            "native": native_available(),
+            "shards": self.cache.shard_count
+            if hasattr(self.cache, "shard_count")
+            else 1,
+        }
+        if self._ring is not None:
+            result["cluster"] = {
+                "self": self._daemon_config.self_address,
+                "members": list(self._ring.members),
+                "virtual_nodes": self._ring.virtual_nodes,
+            }
         return {
             "id": request_id,
             "ok": True,
             "kind": "ping",
-            "result": {
-                "version": __version__,
-                "schemes": list(self._config.schemes),
-                "workers": self._daemon_config.workers,
-                "max_inflight": self._daemon_config.max_inflight,
-                "numpy": numpy_available(),
-                "native": native_available(),
-                "shards": self.cache.shard_count
-                if hasattr(self.cache, "shard_count")
-                else 1,
-            },
+            "result": result,
         }
+
+    def _handle_cache_lookup(self, payload: dict) -> dict:
+        """Answer a peer's cache probe from the *local* cache only.
+
+        Deliberately never consults the pool, the pending-dispatch
+        table, or other peers: the reply is cheap (control path, no
+        in-flight permit) and peering stays one bounded hop -- a
+        member asking an owner can never trigger a further hop.
+        """
+        self.peer_counters["lookups_served"] += 1
+        cached = self.cache.get(payload["fingerprint"], payload["token"])
+        response = {
+            "id": payload.get("id"),
+            "ok": True,
+            "kind": "cache_lookup",
+            "hit": cached is not None,
+        }
+        if cached is not None:
+            response["result"] = cached
+        return response
 
     def stats(self) -> dict:
         """Serving counters plus cache statistics and engine breakdown."""
@@ -439,14 +555,22 @@ class SolverDaemon:
             "counters": dict(self.counters),
             "engines": dict(self.engine_counters),
             "split": dict(self.split_counters),
+            "peer": dict(self.peer_counters),
             "cache": {
                 "entries": len(self.cache),
                 **self.cache.stats.as_dict(),
             },
             "passes": self._pass_stats(),
         }
+        if hasattr(self.cache, "bytes_on_disk"):
+            snapshot["cache"]["bytes_on_disk"] = self.cache.bytes_on_disk()
         if hasattr(self.cache, "shard_stats"):
             snapshot["cache"]["shards"] = self.cache.shard_stats()
+        if self._ring is not None:
+            snapshot["cluster"] = {
+                "self": self._daemon_config.self_address,
+                "members": list(self._ring.members),
+            }
         return snapshot
 
     def _pass_stats(self) -> dict:
@@ -501,6 +625,13 @@ class SolverDaemon:
                 {"event": event},
                 help="Split-search subtrees run and steals, from misses.",
             ).inc(count)
+        for event, count in self.peer_counters.items():
+            registry.counter(
+                "repro_cluster_peer_total",
+                {"event": event},
+                help="Cache-peering lookups by outcome (outbound "
+                "hit/miss/error, inbound lookups_served).",
+            ).inc(count)
         if hasattr(self.cache, "shard_stats"):
             shard_rows = self.cache.shard_stats()
         else:
@@ -514,6 +645,12 @@ class SolverDaemon:
                 labels,
                 help="Live entries per result-cache shard.",
             ).set(row.get("entries", 0))
+            if "bytes_on_disk" in row:
+                registry.gauge(
+                    "repro_cache_bytes_on_disk",
+                    labels,
+                    help="Persisted bytes per result-cache shard.",
+                ).set(row["bytes_on_disk"])
             for field in (
                 "hits",
                 "misses",
@@ -609,6 +746,11 @@ class SolverDaemon:
             token = self._config.token()
         with root.phase("cache_lookup"):
             cached = self.cache.get(fingerprint, token)
+        peer = None
+        if cached is None:
+            cached, peer = await self._maybe_peer_lookup(
+                root, fingerprint, token
+            )
         if cached is not None:
             self.counters["cache_served"] += 1
             with root.phase("encode"):
@@ -621,6 +763,8 @@ class SolverDaemon:
                 "from_cache": True,
                 "result": result,
             }
+            if peer is not None:
+                response["peer"] = peer
             return self._finish(root, payload, response, start)
         data = await self._dispatch(
             fingerprint, token, root, _worker_solve, program, fingerprint
@@ -649,6 +793,11 @@ class SolverDaemon:
             token = request.token(self._config.token())
         with root.phase("cache_lookup"):
             cached = self.cache.get(fingerprint, token)
+        peer = None
+        if cached is None:
+            cached, peer = await self._maybe_peer_lookup(
+                root, fingerprint, token
+            )
         if cached is not None:
             self.counters["cache_served"] += 1
             with root.phase("encode"):
@@ -661,6 +810,8 @@ class SolverDaemon:
                 "from_cache": True,
                 "result": result,
             }
+            if peer is not None:
+                response["peer"] = peer
             return self._finish(root, payload, response, start)
         data = await self._dispatch(
             fingerprint, token, root, _worker_evaluate, request
@@ -742,6 +893,88 @@ class SolverDaemon:
         if self._unsaved_stores >= self._daemon_config.save_every:
             self.cache.save()
             self._unsaved_stores = 0
+
+    # -- cache peering ---------------------------------------------------
+
+    async def _maybe_peer_lookup(
+        self, root, fingerprint: str, token: str
+    ) -> tuple[dict | None, str | None]:
+        """Ask the fingerprint's owner for its cached result (one hop).
+
+        Returns ``(cached, owner)``; ``(None, None)`` when standalone,
+        when this member *is* the owner, or on a peer miss/failure --
+        every degradation lands on the same safe path: solve locally.
+        A peer hit is served without re-storing locally, so the entry
+        keeps living exactly once (on its owner).
+        """
+        if self._ring is None:
+            return None, None
+        owner = self._ring.owner(fingerprint)
+        if owner == self._daemon_config.self_address:
+            return None, None
+        with root.phase("peer_lookup", owner=owner):
+            cached = await self._peer_lookup(owner, fingerprint, token)
+        if cached is None:
+            return None, None
+        return cached, owner
+
+    async def _peer_lookup(
+        self, owner: str, fingerprint: str, token: str
+    ) -> dict | None:
+        """One bounded ``cache_lookup`` hop to a peer; None on miss or
+        any failure (timeout, connection loss, malformed reply)."""
+        self._peer_seq += 1
+        payload = stream.cache_lookup_request(
+            fingerprint, token, request_id=f"peer-{self._peer_seq}"
+        )
+        try:
+            response = await asyncio.wait_for(
+                self._peer_request(owner, payload),
+                timeout=self._daemon_config.peer_timeout,
+            )
+        except (OSError, ValueError, asyncio.TimeoutError) as exc:
+            self.peer_counters["errors"] += 1
+            self._drop_peer(owner)
+            logger.warning("peer cache lookup at %s failed: %r", owner, exc)
+            return None
+        if response.get("ok") and response.get("hit"):
+            self.peer_counters["hits"] += 1
+            return response.get("result")
+        self.peer_counters["misses"] += 1
+        return None
+
+    async def _peer_request(self, address: str, payload: dict) -> dict:
+        """One request/response over this member's peer connection.
+
+        The per-peer lock serializes concurrent misses onto the one
+        connection; the id check catches a stale line left behind by a
+        timed-out predecessor (the connection is dropped and rebuilt
+        rather than served out of step).
+        """
+        lock = self._peer_locks.setdefault(address, asyncio.Lock())
+        async with lock:
+            connection = self._peer_connections.get(address)
+            if connection is None:
+                connection = await open_address(address)
+                self._peer_connections[address] = connection
+            reader, writer = connection
+            writer.write(stream.encode_response(payload))
+            await writer.drain()
+            line = await reader.readline()
+        if not line:
+            raise ConnectionError(f"peer {address} closed the connection")
+        response = json.loads(line)
+        if response.get("id") != payload["id"]:
+            raise ConnectionError(
+                f"peer {address} answered out of step; resetting"
+            )
+        return response
+
+    def _drop_peer(self, address: str) -> None:
+        connection = self._peer_connections.pop(address, None)
+        if connection is not None:
+            with contextlib.suppress(Exception):
+                connection[1].close()
 
     # -- serving loops ---------------------------------------------------
 
@@ -860,11 +1093,13 @@ class SolverDaemon:
     async def serve_unix(self, socket_path: str) -> None:
         """Listen on a unix socket until a ``shutdown`` request.
 
-        The socket file is removed on exit; stale files from a crashed
-        predecessor are removed on entry.
+        The socket file is removed on exit.  A stale file left by a
+        SIGKILL-ed predecessor is reclaimed on entry -- but only after
+        a probe connection confirms nothing live is accepting on it
+        (:func:`~repro.service.routing.reclaim_stale_socket`), so two
+        daemons can never silently fight over one path.
         """
-        with contextlib.suppress(OSError):
-            os.unlink(socket_path)
+        reclaim_stale_socket(socket_path)
         self.warm_up()
         server = await asyncio.start_unix_server(
             self.serve_connection, path=socket_path
@@ -880,6 +1115,30 @@ class SolverDaemon:
             with contextlib.suppress(OSError):
                 os.unlink(socket_path)
             self.close()
+
+    async def serve_tcp(self, host: str, port: int) -> None:
+        """Listen on a TCP socket until a ``shutdown`` request
+        (cluster members spanning hosts route over TCP; same wire
+        protocol, same loop as :meth:`serve_unix`)."""
+        self.warm_up()
+        server = await asyncio.start_server(
+            self.serve_connection, host=host, port=port
+        )
+        logger.info("daemon listening on %s:%d", host, port)
+        try:
+            async with server:
+                await self._shutdown.wait()
+                await asyncio.sleep(0.05)
+        finally:
+            self.close()
+
+    async def serve_address(self, address: str) -> None:
+        """Serve one member address (unix path or ``host:port``)."""
+        parsed = parse_address(address)
+        if parsed[0] == "unix":
+            await self.serve_unix(parsed[1])
+        else:
+            await self.serve_tcp(parsed[1], parsed[2])
 
     async def serve_stdio(self) -> None:
         """Serve JSON lines from stdin to stdout (one-shot pipelines:
@@ -993,8 +1252,14 @@ def serve(
     daemon_config: DaemonConfig | None = None,
     socket_path: str | None = None,
     trace_log: str | None = None,
+    address: str | None = None,
 ) -> int:
-    """Blocking entry point used by the CLI's ``--serve``."""
+    """Blocking entry point used by the CLI's ``--serve``.
+
+    ``socket_path`` keeps the historical unix-only spelling;
+    ``address`` accepts the cluster vocabulary (unix path *or*
+    ``host:port``).  With neither, the daemon serves stdio.
+    """
     daemon = SolverDaemon(
         config=config,
         options=options,
@@ -1003,6 +1268,8 @@ def serve(
     )
     if socket_path is not None:
         asyncio.run(daemon.serve_unix(socket_path))
+    elif address is not None:
+        asyncio.run(daemon.serve_address(address))
     else:
         asyncio.run(daemon.serve_stdio())
     return 0

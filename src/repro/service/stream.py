@@ -13,11 +13,17 @@ Request kinds::
     {"id": 4, "kind": "stats"}
     {"id": 5, "kind": "metrics"}
     {"id": 6, "kind": "shutdown"}
+    {"id": 7, "kind": "cache_lookup", "fingerprint": "...", "token": "..."}
 
 A solve/evaluate request may add ``"trace": true`` to get the served
 request's span tree back in ``response["trace"]``; the ``metrics``
 kind answers with the daemon's Prometheus text exposition in
-``result.text``.
+``result.text`` (or, with ``"raw": true``, the mergeable registry
+snapshot in ``result.snapshot`` -- the cluster router's roll-up
+form).  ``cache_lookup`` is the cluster cache-peering kind: it
+answers from the member's local result cache only (a single bounded
+hop -- the serving member never peers onward), so a cluster of
+members turns their sharded on-disk caches into one distributed tier.
 
 Responses::
 
@@ -40,7 +46,6 @@ throughput measurement instead of a ping-pong latency one.
 from __future__ import annotations
 
 import json
-import socket
 from typing import Iterable, Mapping, Sequence
 
 from repro.ir.arrays import ArrayDecl
@@ -157,7 +162,15 @@ def layouts_from_wire(data: Mapping) -> dict[str, Layout]:
 # -- request/response lines ----------------------------------------------
 
 #: Request kinds the daemon understands.
-REQUEST_KINDS = ("solve", "evaluate", "ping", "stats", "metrics", "shutdown")
+REQUEST_KINDS = (
+    "solve",
+    "evaluate",
+    "ping",
+    "stats",
+    "metrics",
+    "shutdown",
+    "cache_lookup",
+)
 
 
 def decode_request(line: str | bytes) -> dict:
@@ -182,6 +195,12 @@ def decode_request(line: str | bytes) -> dict:
         payload.get("program"), dict
     ):
         raise ProtocolError(f"{kind} request needs a 'program' object")
+    if kind == "cache_lookup":
+        for field in ("fingerprint", "token"):
+            if not isinstance(payload.get(field), str):
+                raise ProtocolError(
+                    f"cache_lookup request needs a string '{field}'"
+                )
     return payload
 
 
@@ -193,6 +212,21 @@ def encode_response(response: Mapping) -> bytes:
 def error_response(request_id, message: str) -> dict:
     """The error line for a failed or unparseable request."""
     return {"id": request_id, "ok": False, "error": message}
+
+
+def cache_lookup_request(fingerprint: str, token: str, request_id=None) -> dict:
+    """Build a cache-peering lookup line (cluster members only).
+
+    The answering member consults its *local* result cache and returns
+    ``{"hit": bool, "result": {...}|null}`` -- it never forwards the
+    lookup onward, which is what bounds peering to a single hop.
+    """
+    return {
+        "id": request_id,
+        "kind": "cache_lookup",
+        "fingerprint": fingerprint,
+        "token": token,
+    }
 
 
 def solve_request(program: Program, request_id=None, trace: bool = False) -> dict:
@@ -243,31 +277,97 @@ def evaluate_request(
 
 
 class DaemonClient:
-    """Blocking JSON-lines client for a running solver daemon.
+    """Blocking JSON-lines client for one daemon -- or a whole cluster.
 
     Args:
-        address: unix-domain socket path to connect to.
+        address: a member address (unix-socket path or TCP
+            ``host:port``), or a sequence of them.  With several
+            addresses the client routes each solve/evaluate request to
+            the member that *owns* its fingerprint on the cluster's
+            consistent-hash ring -- the same ring every member and the
+            router build -- so the hot path needs no router process at
+            all; on connection failure it falls back through the
+            remaining members (the contacted member then peers with
+            the owner for cache hits).
         timeout: per-read socket timeout in seconds (None blocks
             forever; solves can legitimately take a while, so the
             default is generous).
+        options: the :class:`BuildOptions` the daemons fingerprint
+            with; only consulted for client-side routing (a mismatch
+            never changes answers -- requests merely land on a
+            non-owner, which costs one bounded peer hop).
+        retry: reconnect and resend outstanding requests once per
+            member on a transient connection error
+            (``ConnectionResetError``/``BrokenPipeError``/timeout)
+            mid-pipeline, instead of raising to the caller.
 
     The client assigns request ids automatically when the caller did
     not, and matches out-of-order responses back to request order.
-    Use as a context manager to close the connection deterministically.
+    Use as a context manager to close the connections deterministically.
     """
 
-    def __init__(self, address: str, timeout: float | None = 600.0):
-        self._socket = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._socket.settimeout(timeout)
-        self._socket.connect(address)
-        self._reader = self._socket.makefile("rb")
+    def __init__(
+        self,
+        address: str | Sequence[str],
+        timeout: float | None = 600.0,
+        options=None,
+        retry: bool = True,
+    ):
+        if isinstance(address, str):
+            addresses = [address]
+        else:
+            addresses = [str(item) for item in address]
+        if not addresses:
+            raise ValueError("DaemonClient needs at least one address")
+        # Lazy imports keep the module importable without the opt layer
+        # in pathological embedding scenarios; these are stdlib-cheap.
+        from repro.service.routing import HashRing
+
+        self._addresses = addresses
+        self._timeout = timeout
+        self._options = options
+        self._retry = retry
+        self._ring = HashRing(addresses) if len(addresses) > 1 else None
+        # address -> (socket, buffered reader); opened on first use so
+        # a 3-member client talking to one member opens one socket.
+        self._connections: dict[str, tuple] = {}
         self._next_id = 0
+        # Fail fast on a bad primary address (matches the historical
+        # constructor contract: creating a client to a dead daemon
+        # raises immediately).
+        self._connection(addresses[0])
+
+    @property
+    def addresses(self) -> tuple[str, ...]:
+        """The member addresses this client may talk to."""
+        return tuple(self._addresses)
+
+    def _connection(self, address: str) -> tuple:
+        entry = self._connections.get(address)
+        if entry is None:
+            from repro.service.routing import connect_address
+
+            sock = connect_address(address, timeout=self._timeout)
+            entry = (sock, sock.makefile("rb"))
+            self._connections[address] = entry
+        return entry
+
+    def _drop_connection(self, address: str) -> None:
+        entry = self._connections.pop(address, None)
+        if entry is not None:
+            sock, reader = entry
+            try:
+                reader.close()
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     def close(self) -> None:
-        try:
-            self._reader.close()
-        finally:
-            self._socket.close()
+        for address in list(self._connections):
+            self._drop_connection(address)
 
     def __enter__(self) -> "DaemonClient":
         return self
@@ -279,8 +379,9 @@ class DaemonClient:
         self._next_id += 1
         return self._next_id
 
-    def _read_response(self) -> dict:
-        line = self._reader.readline()
+    @staticmethod
+    def _read_response(reader) -> dict:
+        line = reader.readline()
         if not line:
             raise ConnectionError("daemon closed the connection")
         try:
@@ -291,9 +392,51 @@ class DaemonClient:
             raise ProtocolError("daemon response must be a JSON object")
         return payload
 
+    # -- client-side routing --------------------------------------------
+
+    def _routing_key(self, payload: Mapping) -> str | None:
+        """The fingerprint a routable request hashes to, or None."""
+        kind = payload.get("kind")
+        if kind == "cache_lookup":
+            return payload.get("fingerprint")
+        if kind not in ("solve", "evaluate") or not isinstance(
+            payload.get("program"), dict
+        ):
+            return None
+        from repro.service.fingerprint import request_fingerprint
+
+        try:
+            program = program_from_wire(payload["program"])
+        except ProtocolError:
+            return None  # let the daemon produce the error line
+        return request_fingerprint(program, self._options)
+
+    def _target_for(self, payload: Mapping) -> str:
+        """Owner member for routable requests; the primary otherwise."""
+        if self._ring is None:
+            return self._addresses[0]
+        key = self._routing_key(payload)
+        if key is None:
+            return self._addresses[0]
+        return self._ring.owner(key)
+
     def request(self, payload: Mapping) -> dict:
         """Send one request and wait for its response."""
         return self.request_many([payload])[0]
+
+    def request_member(self, address: str, payload: Mapping) -> dict:
+        """Send one request to a *specific* member, bypassing routing.
+
+        The address must be one of this client's configured addresses.
+        Cluster smoke tests use this to target a non-owner and watch
+        the cache-peering hop; operators use it to inspect one member.
+        """
+        if address not in self._addresses:
+            raise ValueError(f"{address!r} is not a configured member")
+        prepared = dict(payload)
+        if prepared.get("id") is None:
+            prepared["id"] = self._take_id()
+        return self._deliver(address, [prepared], failover=False)[prepared["id"]]
 
     def request_many(self, payloads: Sequence[Mapping]) -> list[dict]:
         """Pipeline a batch: write every line, then collect responses.
@@ -301,7 +444,9 @@ class DaemonClient:
         Responses are returned in *request* order regardless of the
         order the daemon finished them in.  Auto-assigned ids skip any
         caller-supplied ones, and duplicate caller ids are rejected --
-        ids are the only way responses pair back to requests.
+        ids are the only way responses pair back to requests.  With
+        several addresses the batch is partitioned by fingerprint
+        owner and each partition is pipelined to its member.
 
         Raises:
             ProtocolError: when two payloads share a request id.
@@ -329,18 +474,77 @@ class DaemonClient:
             raise ProtocolError(
                 f"duplicate request ids in batch: {', '.join(duplicates)}"
             )
-        self._socket.sendall(b"".join(encode_response(p) for p in prepared))
-        by_id: dict = {}
         wanted = [p["id"] for p in prepared]
-        outstanding = set(wanted)
-        while outstanding:
-            response = self._read_response()
-            response_id = response.get("id")
-            if response_id in outstanding:
-                outstanding.discard(response_id)
-                by_id[response_id] = response
-            # responses for ids we never sent (stale pipeline) are dropped
+        groups: dict[str, list[dict]] = {}
+        for payload in prepared:
+            groups.setdefault(self._target_for(payload), []).append(payload)
+        by_id: dict = {}
+        for address, group in groups.items():
+            by_id.update(self._deliver(address, group))
         return [by_id[request_id] for request_id in wanted]
+
+    def _deliver(
+        self, address: str, payloads: Sequence[Mapping], failover: bool = True
+    ) -> dict:
+        """Pipeline payloads to a member; reconnect-retry, then fail over.
+
+        Per member: one reconnect+resend retry on a transient
+        connection error (daemon restarted, socket reset mid-batch).
+        Responses collected before the error are kept -- only the
+        outstanding remainder is resent; resends are safe because
+        every request kind is idempotent (solves are cached and
+        deduplicated on the daemon).  When the member stays down and
+        the client knows other members, the remainder fails over
+        through them in address order.
+        """
+        outstanding = {payload["id"]: payload for payload in payloads}
+        collected: dict = {}
+        targets = [address]
+        if failover and self._ring is not None:
+            targets.extend(a for a in self._addresses if a != address)
+        last_error: Exception | None = None
+        for target in targets:
+            # One *blind* retry per member: an attempt that collected
+            # responses before dying proves the daemon is serving (it
+            # was restarted, or the socket reset mid-batch), so
+            # reconnecting again is progress, not spinning -- only
+            # attempts that yield nothing consume the retry budget.
+            blind_retries = 1 if self._retry else 0
+            while True:
+                if not outstanding:
+                    return collected
+                before = len(collected)
+                try:
+                    sock, reader = self._connection(target)
+                    sock.sendall(
+                        b"".join(
+                            encode_response(p) for p in outstanding.values()
+                        )
+                    )
+                    while outstanding:
+                        response = self._read_response(reader)
+                        response_id = response.get("id")
+                        if response_id in outstanding:
+                            del outstanding[response_id]
+                            collected[response_id] = response
+                        # responses for ids we never sent (stale
+                        # pipeline) are dropped
+                    return collected
+                except (ConnectionError, OSError) as exc:
+                    # Covers ConnectionResetError, BrokenPipeError,
+                    # socket.timeout and refused reconnects alike.
+                    self._drop_connection(target)
+                    last_error = exc
+                    if not self._retry:
+                        break
+                    if len(collected) == before:
+                        if blind_retries == 0:
+                            break
+                        blind_retries -= 1
+        raise ConnectionError(
+            f"no daemon at {targets} answered "
+            f"{len(outstanding)} outstanding request(s): {last_error}"
+        ) from last_error
 
     # -- convenience wrappers -------------------------------------------
 
@@ -361,6 +565,22 @@ class DaemonClient:
         if not response.get("ok"):
             raise ProtocolError(response.get("error", "metrics request failed"))
         return response["result"]["text"]
+
+    def metrics_snapshot(self) -> dict:
+        """The daemon's mergeable metrics snapshot (cluster roll-ups)."""
+        response = self.request({"kind": "metrics", "raw": True})
+        if not response.get("ok"):
+            raise ProtocolError(response.get("error", "metrics request failed"))
+        return response["result"]["snapshot"]
+
+    def cache_lookup(self, fingerprint: str, token: str) -> dict:
+        """Peer-style cache probe: ``{"hit": bool, "result": ...}``."""
+        response = self.request(cache_lookup_request(fingerprint, token))
+        if not response.get("ok"):
+            raise ProtocolError(
+                response.get("error", "cache_lookup request failed")
+            )
+        return response
 
     def shutdown(self) -> dict:
         """Ask the daemon to stop serving (it answers first)."""

@@ -99,8 +99,9 @@ class TestProtocol:
         self, harness
     ):
         with harness.client() as client:
-            client._socket.sendall(b"{not json}\n")
-            response = client._read_response()
+            sock, reader = client._connection(client.addresses[0])
+            sock.sendall(b"{not json}\n")
+            response = client._read_response(reader)
             assert response["ok"] is False
             assert "JSON" in response["error"]
             # The connection is still serviceable afterwards.
@@ -108,10 +109,11 @@ class TestProtocol:
 
     def test_unknown_kind_echoes_request_id(self, harness):
         with harness.client() as client:
-            client._socket.sendall(
+            sock, reader = client._connection(client.addresses[0])
+            sock.sendall(
                 json.dumps({"id": 41, "kind": "solv"}).encode() + b"\n"
             )
-            response = client._read_response()
+            response = client._read_response(reader)
         assert response == {
             "id": 41,
             "ok": False,

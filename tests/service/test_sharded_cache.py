@@ -73,6 +73,36 @@ class TestShardedSemantics:
         per_shard = cache.shard_stats()
         assert len(per_shard) == 4
         assert sum(row["stores"] for row in per_shard) == 16
+        assert sum(row["entries"] for row in per_shard) == len(cache)
+        assert all("bytes_on_disk" in row for row in per_shard)
+
+    def test_entry_counts_and_bytes_on_disk(self, tmp_path):
+        """The cluster roll-up needs comparable per-member numbers:
+        entry counts per shard and real persisted bytes."""
+        directory = str(tmp_path / "cache.d")
+        cache = ShardedResultCache(shards=4, directory=directory)
+        assert cache.entry_counts() == [0, 0, 0, 0]
+        assert cache.bytes_on_disk() == 0  # nothing persisted yet
+        for value in range(16):
+            cache.put(_fp(value), "cfg", {"v": value})
+        assert sum(cache.entry_counts()) == 16
+        cache.save()
+        total = cache.bytes_on_disk()
+        assert total > 0
+        per_shard = cache.shard_stats()
+        assert sum(row["bytes_on_disk"] for row in per_shard) == total
+        on_disk = sum(
+            os.path.getsize(os.path.join(directory, name))
+            for name in os.listdir(directory)
+            if name.endswith(".json")
+        )
+        assert total == on_disk
+
+    def test_memory_only_cache_reports_zero_bytes(self):
+        cache = ShardedResultCache(shards=2)
+        cache.put(_fp(1), "cfg", {"v": 1})
+        cache.save()
+        assert cache.bytes_on_disk() == 0
 
     def test_capacity_is_per_shard(self):
         cache = ShardedResultCache(shards=2, capacity=2)

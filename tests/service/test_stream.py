@@ -117,7 +117,7 @@ class TestClientIdAssignment:
     """request_many pairing rules (ids are the only response key)."""
 
     class _FakeClient:
-        """A DaemonClient with the socket layer stubbed out."""
+        """A DaemonClient with the delivery layer stubbed out."""
 
         request_many = __import__(
             "repro.service.stream", fromlist=["DaemonClient"]
@@ -125,21 +125,20 @@ class TestClientIdAssignment:
 
         def __init__(self):
             self._next_id = 0
-            self.sent: list[bytes] = []
-            self._socket = self
-
-        def sendall(self, data: bytes) -> None:
-            self.sent.append(data)
-            self._lines = [
-                json.loads(line) for line in data.splitlines() if line
-            ]
+            self._ring = None
+            self._addresses = ["fake"]
+            self.sent: list[dict] = []
 
         def _take_id(self):
             self._next_id += 1
             return self._next_id
 
-        def _read_response(self):
-            return {**self._lines.pop(), "ok": True}
+        def _target_for(self, payload):
+            return self._addresses[0]
+
+        def _deliver(self, address, payloads, failover=True):
+            self.sent.extend(payloads)
+            return {p["id"]: {**p, "ok": True} for p in payloads}
 
     def test_duplicate_caller_ids_rejected(self):
         client = self._FakeClient()
